@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig10 (see `simdc_bench::exp::fig10`).
+
+fn main() {
+    let opts = simdc_bench::ExpOptions::from_args();
+    simdc_bench::exp::fig10::run(&opts);
+}

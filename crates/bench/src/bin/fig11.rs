@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig11 (see `simdc_bench::exp::fig11`).
+
+fn main() {
+    let opts = simdc_bench::ExpOptions::from_args();
+    simdc_bench::exp::fig11::run(&opts);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig5 (see `simdc_bench::exp::fig5`).
+
+fn main() {
+    let opts = simdc_bench::ExpOptions::from_args();
+    simdc_bench::exp::fig5::run(&opts);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig6 (see `simdc_bench::exp::fig6`).
+
+fn main() {
+    let opts = simdc_bench::ExpOptions::from_args();
+    simdc_bench::exp::fig6::run(&opts);
+}

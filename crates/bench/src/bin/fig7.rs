@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig7 (see `simdc_bench::exp::fig7`).
+
+fn main() {
+    let opts = simdc_bench::ExpOptions::from_args();
+    simdc_bench::exp::fig7::run(&opts);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig8 (see `simdc_bench::exp::fig8`).
+
+fn main() {
+    let opts = simdc_bench::ExpOptions::from_args();
+    simdc_bench::exp::fig8::run(&opts);
+}

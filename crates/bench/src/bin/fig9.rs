@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig9 (see `simdc_bench::exp::fig9`).
+
+fn main() {
+    let opts = simdc_bench::ExpOptions::from_args();
+    simdc_bench::exp::fig9::run(&opts);
+}

@@ -1,0 +1,22 @@
+//! Regenerates every table and figure of the paper's evaluation in one go.
+//!
+//! Results land in `results/*.json`; the printed tables mirror the paper's
+//! layout. Pass `--quick` for a fast smoke profile.
+
+fn main() {
+    let opts = simdc_bench::ExpOptions::from_args();
+    println!(
+        "=== SimDC experiment suite (seed {}, quick: {}) ===\n",
+        opts.seed, opts.quick
+    );
+    simdc_bench::exp::table1::run(&opts);
+    simdc_bench::exp::fig5::run(&opts);
+    simdc_bench::exp::fig6::run(&opts);
+    simdc_bench::exp::fig7::run(&opts);
+    simdc_bench::exp::fig8::run(&opts);
+    simdc_bench::exp::fig9::run(&opts);
+    simdc_bench::exp::fig10::run(&opts);
+    simdc_bench::exp::table2::run(&opts);
+    simdc_bench::exp::fig11::run(&opts);
+    println!("\nAll results written to {}/", opts.out_dir.display());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's table1 (see `simdc_bench::exp::table1`).
+
+fn main() {
+    let opts = simdc_bench::ExpOptions::from_args();
+    simdc_bench::exp::table1::run(&opts);
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's table2 (see `simdc_bench::exp::table2`).
+
+fn main() {
+    let opts = simdc_bench::ExpOptions::from_args();
+    simdc_bench::exp::table2::run(&opts);
+}

@@ -1,0 +1,325 @@
+//! Worker nodes and the elastic node pool.
+
+use serde::{Deserialize, Serialize};
+use simdc_types::{NodeId, ResourceBundle, Result, SimdcError};
+
+/// One worker node: total capacity and the amount currently allocated.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkerNode {
+    id: NodeId,
+    capacity: ResourceBundle,
+    allocated: ResourceBundle,
+}
+
+impl WorkerNode {
+    /// Creates an empty node with the given capacity.
+    #[must_use]
+    pub fn new(id: NodeId, capacity: ResourceBundle) -> Self {
+        WorkerNode {
+            id,
+            capacity,
+            allocated: ResourceBundle::ZERO,
+        }
+    }
+
+    /// Node identifier.
+    #[must_use]
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Total capacity.
+    #[must_use]
+    pub fn capacity(&self) -> ResourceBundle {
+        self.capacity
+    }
+
+    /// Currently allocated resources.
+    #[must_use]
+    pub fn allocated(&self) -> ResourceBundle {
+        self.allocated
+    }
+
+    /// Remaining free resources.
+    #[must_use]
+    pub fn free(&self) -> ResourceBundle {
+        self.capacity.saturating_sub(&self.allocated)
+    }
+
+    /// Whether `bundle` currently fits on this node.
+    #[must_use]
+    pub fn fits(&self, bundle: &ResourceBundle) -> bool {
+        self.free().contains(bundle)
+    }
+
+    /// Reserves `bundle` on this node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimdcError::ResourceExhausted`] if it does not fit.
+    pub fn reserve(&mut self, bundle: &ResourceBundle) -> Result<()> {
+        if !self.fits(bundle) {
+            return Err(SimdcError::ResourceExhausted {
+                requested: bundle.to_string(),
+                available: self.free().to_string(),
+            });
+        }
+        self.allocated += *bundle;
+        Ok(())
+    }
+
+    /// Releases a previously reserved bundle (saturating, so double-release
+    /// cannot underflow).
+    pub fn release(&mut self, bundle: &ResourceBundle) {
+        self.allocated = self.allocated.saturating_sub(bundle);
+    }
+
+    /// Whether nothing is allocated.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.allocated.is_zero()
+    }
+}
+
+/// An elastically scalable pool of identical worker nodes (the k8s layer).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodePool {
+    template: ResourceBundle,
+    max_nodes: usize,
+    nodes: Vec<WorkerNode>,
+    next_id: u32,
+}
+
+impl NodePool {
+    /// Creates a pool of `initial` nodes of size `template`, allowed to
+    /// grow to `max_nodes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `template` is the zero bundle, `initial` is zero, or
+    /// `initial > max_nodes`.
+    #[must_use]
+    pub fn new(template: ResourceBundle, initial: usize, max_nodes: usize) -> Self {
+        assert!(!template.is_zero(), "node template must be non-empty");
+        assert!(initial > 0, "pool needs at least one node");
+        assert!(initial <= max_nodes, "initial nodes exceed max_nodes");
+        let mut pool = NodePool {
+            template,
+            max_nodes,
+            nodes: Vec::new(),
+            next_id: 0,
+        };
+        for _ in 0..initial {
+            pool.add_node();
+        }
+        pool
+    }
+
+    fn add_node(&mut self) -> NodeId {
+        let id = NodeId(self.next_id);
+        self.next_id += 1;
+        self.nodes.push(WorkerNode::new(id, self.template));
+        id
+    }
+
+    /// The nodes currently in the pool.
+    #[must_use]
+    pub fn nodes(&self) -> &[WorkerNode] {
+        &self.nodes
+    }
+
+    /// Mutable node access by id.
+    pub fn node_mut(&mut self, id: NodeId) -> Option<&mut WorkerNode> {
+        self.nodes.iter_mut().find(|n| n.id() == id)
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the pool is empty (never true after construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Total capacity across nodes.
+    #[must_use]
+    pub fn total_capacity(&self) -> ResourceBundle {
+        self.nodes.iter().map(WorkerNode::capacity).sum()
+    }
+
+    /// Total free resources across nodes.
+    #[must_use]
+    pub fn total_free(&self) -> ResourceBundle {
+        self.nodes.iter().map(WorkerNode::free).sum()
+    }
+
+    /// Fraction of CPU capacity currently allocated, in `[0, 1]`.
+    #[must_use]
+    pub fn cpu_utilization(&self) -> f64 {
+        let cap = self.total_capacity().cpu_millicores;
+        if cap == 0 {
+            return 0.0;
+        }
+        let used = cap - self.total_free().cpu_millicores;
+        used as f64 / cap as f64
+    }
+
+    /// Scales up by adding nodes until `bundles` of size `unit` *could* be
+    /// placed (capacity heuristic), or `max_nodes` is reached.
+    ///
+    /// Returns the number of nodes added.
+    pub fn scale_up_for(&mut self, unit: &ResourceBundle, bundles: u64) -> usize {
+        if unit.is_zero() {
+            return 0;
+        }
+        let mut added = 0;
+        while self.placeable(unit) < bundles && self.nodes.len() < self.max_nodes {
+            self.add_node();
+            added += 1;
+        }
+        added
+    }
+
+    /// Removes idle nodes beyond `keep`, newest first. Returns how many
+    /// were removed.
+    pub fn scale_down(&mut self, keep: usize) -> usize {
+        let mut removed = 0;
+        while self.nodes.len() > keep.max(1) {
+            let Some(pos) = self.nodes.iter().rposition(WorkerNode::is_idle) else {
+                break;
+            };
+            self.nodes.remove(pos);
+            removed += 1;
+        }
+        removed
+    }
+
+    /// How many bundles of size `unit` fit in the pool right now,
+    /// respecting per-node boundaries.
+    #[must_use]
+    pub fn placeable(&self, unit: &ResourceBundle) -> u64 {
+        self.nodes.iter().map(|n| n.free().max_bundles(unit)).sum()
+    }
+
+    /// First-fit placement of one bundle; returns the node it landed on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimdcError::ResourceExhausted`] when no node can hold the
+    /// bundle.
+    pub fn place(&mut self, bundle: &ResourceBundle) -> Result<NodeId> {
+        for node in &mut self.nodes {
+            if node.fits(bundle) {
+                node.reserve(bundle)?;
+                return Ok(node.id());
+            }
+        }
+        Err(SimdcError::ResourceExhausted {
+            requested: bundle.to_string(),
+            available: self.total_free().to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit() -> ResourceBundle {
+        ResourceBundle::cores_gib(1, 1)
+    }
+
+    fn pool() -> NodePool {
+        // 4-core/8-GiB nodes, 2 initial, max 5.
+        NodePool::new(ResourceBundle::cores_gib(4, 8), 2, 5)
+    }
+
+    #[test]
+    fn reserve_and_release_round_trip() {
+        let mut node = WorkerNode::new(NodeId(0), ResourceBundle::cores_gib(2, 2));
+        assert!(node.is_idle());
+        node.reserve(&unit()).unwrap();
+        assert!(!node.is_idle());
+        assert_eq!(node.free(), ResourceBundle::cores_gib(1, 1));
+        node.release(&unit());
+        assert!(node.is_idle());
+    }
+
+    #[test]
+    fn reserve_rejects_overcommit() {
+        let mut node = WorkerNode::new(NodeId(0), unit());
+        node.reserve(&unit()).unwrap();
+        assert!(node.reserve(&unit()).is_err());
+    }
+
+    #[test]
+    fn double_release_saturates() {
+        let mut node = WorkerNode::new(NodeId(0), unit());
+        node.release(&unit());
+        assert!(node.is_idle());
+        assert_eq!(node.free(), unit());
+    }
+
+    #[test]
+    fn placeable_respects_node_boundaries() {
+        let pool = pool();
+        // Each 4c/8g node fits 4 one-core-one-GiB units → 8 total.
+        assert_eq!(pool.placeable(&unit()), 8);
+        // A 3-core/6-GiB bundle fits once per node.
+        assert_eq!(pool.placeable(&ResourceBundle::cores_gib(3, 6)), 2);
+        // A 5-core bundle fits nowhere even though total CPU is 8.
+        assert_eq!(pool.placeable(&ResourceBundle::cores_gib(5, 1)), 0);
+    }
+
+    #[test]
+    fn place_first_fit() {
+        let mut pool = pool();
+        let n1 = pool.place(&ResourceBundle::cores_gib(3, 3)).unwrap();
+        let n2 = pool.place(&ResourceBundle::cores_gib(3, 3)).unwrap();
+        assert_eq!(n1, NodeId(0));
+        assert_eq!(n2, NodeId(1)); // does not fit next to the first
+        assert!(pool.place(&ResourceBundle::cores_gib(3, 3)).is_err());
+    }
+
+    #[test]
+    fn scale_up_adds_until_placeable() {
+        let mut pool = pool();
+        let added = pool.scale_up_for(&unit(), 20); // needs 5 nodes (4 units each)
+        assert_eq!(added, 3);
+        assert_eq!(pool.len(), 5);
+        assert_eq!(pool.placeable(&unit()), 20);
+        // Capped at max_nodes.
+        assert_eq!(pool.scale_up_for(&unit(), 100), 0);
+    }
+
+    #[test]
+    fn scale_down_removes_idle_nodes_only() {
+        let mut pool = pool();
+        pool.scale_up_for(&unit(), 12);
+        assert_eq!(pool.len(), 3);
+        pool.place(&unit()).unwrap(); // occupies node 0
+        let removed = pool.scale_down(1);
+        assert_eq!(removed, 2);
+        assert_eq!(pool.len(), 1);
+        // The busy node survives even though keep=1 was already satisfied.
+        assert!(!pool.nodes()[0].is_idle());
+    }
+
+    #[test]
+    fn utilization_tracks_cpu() {
+        let mut pool = pool();
+        assert_eq!(pool.cpu_utilization(), 0.0);
+        pool.place(&ResourceBundle::cores_gib(4, 4)).unwrap();
+        assert!((pool.cpu_utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_initial_nodes_rejected() {
+        let _ = NodePool::new(unit(), 0, 3);
+    }
+}

@@ -1,0 +1,160 @@
+//! Placement groups: all-or-nothing reservations of actor bundles.
+
+use serde::{Deserialize, Serialize};
+use simdc_types::{NodeId, ResourceBundle, Result};
+
+use crate::node::NodePool;
+
+/// Identifier of a placement group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PlacementGroupId(pub u64);
+
+impl std::fmt::Display for PlacementGroupId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pg-{}", self.0)
+    }
+}
+
+/// A placed group: which node each bundle landed on.
+///
+/// Ray semantics: the group is created atomically — if any bundle cannot be
+/// placed, none are, and the pool is left untouched.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlacementGroup {
+    id: PlacementGroupId,
+    bundle: ResourceBundle,
+    placements: Vec<NodeId>,
+}
+
+impl PlacementGroup {
+    /// Atomically places `count` copies of `bundle` onto the pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`simdc_types::SimdcError::ResourceExhausted`] if the full
+    /// group does not fit; in that case no resources are reserved.
+    pub fn create(
+        id: PlacementGroupId,
+        pool: &mut NodePool,
+        bundle: ResourceBundle,
+        count: usize,
+    ) -> Result<Self> {
+        let mut placements = Vec::with_capacity(count);
+        for i in 0..count {
+            match pool.place(&bundle) {
+                Ok(node) => placements.push(node),
+                Err(err) => {
+                    // Roll back everything placed so far.
+                    for &node in placements.iter().take(i) {
+                        if let Some(n) = pool.node_mut(node) {
+                            n.release(&bundle);
+                        }
+                    }
+                    return Err(err);
+                }
+            }
+        }
+        Ok(PlacementGroup {
+            id,
+            bundle,
+            placements,
+        })
+    }
+
+    /// Group id.
+    #[must_use]
+    pub fn id(&self) -> PlacementGroupId {
+        self.id
+    }
+
+    /// The per-actor bundle size.
+    #[must_use]
+    pub fn bundle(&self) -> ResourceBundle {
+        self.bundle
+    }
+
+    /// Node of each placed bundle, in actor order.
+    #[must_use]
+    pub fn placements(&self) -> &[NodeId] {
+        &self.placements
+    }
+
+    /// Number of bundles (= actors).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.placements.len()
+    }
+
+    /// Whether the group holds no bundles.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.placements.is_empty()
+    }
+
+    /// Releases every bundle back to the pool.
+    pub fn release(&self, pool: &mut NodePool) {
+        for &node in &self.placements {
+            if let Some(n) = pool.node_mut(node) {
+                n.release(&self.bundle);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> NodePool {
+        NodePool::new(ResourceBundle::cores_gib(4, 8), 2, 2)
+    }
+
+    #[test]
+    fn create_and_release() {
+        let mut pool = pool();
+        let pg = PlacementGroup::create(
+            PlacementGroupId(1),
+            &mut pool,
+            ResourceBundle::cores_gib(2, 2),
+            3,
+        )
+        .unwrap();
+        assert_eq!(pg.len(), 3);
+        assert_eq!(pool.total_free(), ResourceBundle::new(2_000, 10 * 1_024, 0));
+        pg.release(&mut pool);
+        assert_eq!(pool.total_free(), pool.total_capacity());
+    }
+
+    #[test]
+    fn create_is_atomic_on_failure() {
+        let mut pool = pool();
+        let before = pool.total_free();
+        // 5 bundles of 2 cores need 10 cores; pool has 8.
+        let result = PlacementGroup::create(
+            PlacementGroupId(2),
+            &mut pool,
+            ResourceBundle::cores_gib(2, 2),
+            5,
+        );
+        assert!(result.is_err());
+        assert_eq!(pool.total_free(), before, "failed create must roll back");
+    }
+
+    #[test]
+    fn zero_count_group_is_empty() {
+        let mut pool = pool();
+        let pg = PlacementGroup::create(
+            PlacementGroupId(3),
+            &mut pool,
+            ResourceBundle::cores_gib(1, 1),
+            0,
+        )
+        .unwrap();
+        assert!(pg.is_empty());
+    }
+
+    #[test]
+    fn display_id() {
+        assert_eq!(PlacementGroupId(7).to_string(), "pg-7");
+    }
+}

@@ -1,0 +1,476 @@
+//! The Ray Runner: job submission and actor scheduling.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use simdc_simrt::RngStream;
+use simdc_types::{
+    ActorId, DeviceGrade, DeviceId, NodeId, ResourceBundle, Result, RoundId, SimDuration,
+    SimdcError, TaskId,
+};
+
+use crate::cost::CostModel;
+use crate::node::NodePool;
+use crate::placement::{PlacementGroup, PlacementGroupId};
+
+/// Configuration of the logical-simulation cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Capacity of one worker node.
+    pub node_template: ResourceBundle,
+    /// Nodes started eagerly.
+    pub initial_nodes: usize,
+    /// Elastic-scaling ceiling.
+    pub max_nodes: usize,
+    /// The unit resource bundle (paper default: 1 core / 1 GiB).
+    pub unit_bundle: ResourceBundle,
+    /// Timing model.
+    pub cost: CostModel,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        // Paper default: 200 CPU cores / 300 GB memory with elastic scaling.
+        ClusterConfig {
+            node_template: ResourceBundle::cores_gib(50, 75),
+            initial_nodes: 4,
+            max_nodes: 16,
+            unit_bundle: ResourceBundle::cores_gib(1, 1),
+            cost: CostModel::default(),
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidConfig` for empty bundles, zero node counts or an
+    /// invalid cost model.
+    pub fn validate(&self) -> Result<()> {
+        use SimdcError::InvalidConfig;
+        if self.node_template.is_zero() {
+            return Err(InvalidConfig("node_template must be non-empty".into()));
+        }
+        if self.unit_bundle.is_zero() {
+            return Err(InvalidConfig("unit_bundle must be non-empty".into()));
+        }
+        if self.initial_nodes == 0 || self.initial_nodes > self.max_nodes {
+            return Err(InvalidConfig(format!(
+                "initial_nodes must be in [1, max_nodes], got {} (max {})",
+                self.initial_nodes, self.max_nodes
+            )));
+        }
+        if !self.node_template.contains(&self.unit_bundle) {
+            return Err(InvalidConfig(
+                "unit_bundle must fit on a single node".into(),
+            ));
+        }
+        self.cost.validate()
+    }
+}
+
+/// A single-grade, single-round simulation job (the paper's `f` and `k`
+/// parameters, §IV-B).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Owning task.
+    pub task: TaskId,
+    /// Round being executed.
+    pub round: RoundId,
+    /// Device grade simulated by this job.
+    pub grade: DeviceGrade,
+    /// The devices to simulate (the optimizer's `x` of them end up here).
+    pub devices: Vec<DeviceId>,
+    /// Total unit bundles requested (`f`).
+    pub unit_bundles: u32,
+    /// Unit bundles consumed per simulated device (`k`); one actor holds
+    /// `k` units, so the job runs `⌊f / k⌋` actors.
+    pub units_per_device: u32,
+    /// Data + model payload each actor downloads at round start, in MiB.
+    pub payload_mib: f64,
+}
+
+impl JobSpec {
+    /// Number of actors this job will launch.
+    #[must_use]
+    pub fn actor_count(&self) -> u32 {
+        self.unit_bundles
+            .checked_div(self.units_per_device)
+            .unwrap_or(0)
+    }
+
+    /// Validates the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidConfig` when `k` is zero, `f < k` (no actor fits), or
+    /// the payload is negative/not finite.
+    pub fn validate(&self) -> Result<()> {
+        use SimdcError::InvalidConfig;
+        if self.units_per_device == 0 {
+            return Err(InvalidConfig("units_per_device (k) must be > 0".into()));
+        }
+        if !self.devices.is_empty() && self.actor_count() == 0 {
+            return Err(InvalidConfig(format!(
+                "unit_bundles ({}) must be >= units_per_device ({}) to launch an actor",
+                self.unit_bundles, self.units_per_device
+            )));
+        }
+        if !self.payload_mib.is_finite() || self.payload_mib < 0.0 {
+            return Err(InvalidConfig("payload_mib must be finite and >= 0".into()));
+        }
+        Ok(())
+    }
+}
+
+/// One actor's schedule within a job plan. All offsets are relative to job
+/// submission.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActorPlan {
+    /// Actor identifier.
+    pub actor: ActorId,
+    /// Node hosting the actor.
+    pub node: NodeId,
+    /// When the actor is ready (placement + spawn).
+    pub ready_at: SimDuration,
+    /// Completion offset of each assigned device, in execution order.
+    pub completions: Vec<(DeviceId, SimDuration)>,
+    /// When the actor finished its last upload.
+    pub finished_at: SimDuration,
+}
+
+/// The timed execution plan of a submitted job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobPlan {
+    /// Owning task.
+    pub task: TaskId,
+    /// Round covered.
+    pub round: RoundId,
+    /// Grade simulated.
+    pub grade: DeviceGrade,
+    /// The placement group backing the job (release it when done).
+    pub placement_group: PlacementGroupId,
+    /// Per-actor schedules.
+    pub actors: Vec<ActorPlan>,
+    /// Time from submission until the slowest actor finished.
+    pub makespan: SimDuration,
+}
+
+impl JobPlan {
+    /// Number of actors launched.
+    #[must_use]
+    pub fn actor_count(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// All device completion offsets, flattened across actors.
+    #[must_use]
+    pub fn device_completions(&self) -> Vec<(DeviceId, SimDuration)> {
+        let mut all: Vec<(DeviceId, SimDuration)> = self
+            .actors
+            .iter()
+            .flat_map(|a| a.completions.iter().copied())
+            .collect();
+        all.sort_by_key(|&(_, at)| at);
+        all
+    }
+}
+
+/// The logical-simulation cluster: node pool + Ray-style job submission.
+#[derive(Debug)]
+pub struct LogicalCluster {
+    pool: NodePool,
+    unit: ResourceBundle,
+    cost: CostModel,
+    groups: HashMap<PlacementGroupId, PlacementGroup>,
+    next_group: u64,
+    next_actor: u64,
+}
+
+impl LogicalCluster {
+    /// Builds a cluster from `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid; call [`ClusterConfig::validate`]
+    /// first for a recoverable error.
+    #[must_use]
+    pub fn new(config: ClusterConfig) -> Self {
+        config.validate().expect("invalid cluster configuration");
+        LogicalCluster {
+            pool: NodePool::new(config.node_template, config.initial_nodes, config.max_nodes),
+            unit: config.unit_bundle,
+            cost: config.cost,
+            groups: HashMap::new(),
+            next_group: 0,
+            next_actor: 0,
+        }
+    }
+
+    /// The node pool (for capacity/utilization queries).
+    #[must_use]
+    pub fn pool(&self) -> &NodePool {
+        &self.pool
+    }
+
+    /// The timing model.
+    #[must_use]
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Unit bundles placeable right now (elasticity not included).
+    #[must_use]
+    pub fn free_unit_bundles(&self) -> u64 {
+        self.pool.placeable(&self.unit)
+    }
+
+    /// Number of active placement groups.
+    #[must_use]
+    pub fn active_jobs(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Submits a job: reserves a placement group, splits devices over its
+    /// actors and returns the timed plan. Resources stay reserved until
+    /// [`LogicalCluster::release_job`].
+    ///
+    /// Devices are dealt to actors round-robin, so actor loads differ by at
+    /// most one device — matching the paper's "each actor sequentially
+    /// simulating multiple devices".
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidConfig` for a malformed spec and
+    /// [`SimdcError::ResourceExhausted`] when the placement group does not
+    /// fit even after elastic scale-up.
+    pub fn submit_job(&mut self, job: &JobSpec, rng: &mut RngStream) -> Result<JobPlan> {
+        job.validate()?;
+        let actor_count = if job.devices.is_empty() {
+            0
+        } else {
+            (job.actor_count() as usize).min(job.devices.len())
+        };
+        let actor_bundle = self.unit.scaled(u64::from(job.units_per_device));
+        self.pool.scale_up_for(&actor_bundle, actor_count as u64);
+
+        let pg_id = PlacementGroupId(self.next_group);
+        self.next_group += 1;
+        let group = PlacementGroup::create(pg_id, &mut self.pool, actor_bundle, actor_count)?;
+
+        let ready_at = self.cost.pg_create.saturating_add(self.cost.actor_spawn);
+        let download = self.cost.download_time(job.payload_mib);
+
+        let mut actors: Vec<ActorPlan> = group
+            .placements()
+            .iter()
+            .map(|&node| {
+                let actor = ActorId(self.next_actor);
+                self.next_actor += 1;
+                ActorPlan {
+                    actor,
+                    node,
+                    ready_at,
+                    completions: Vec::new(),
+                    finished_at: ready_at,
+                }
+            })
+            .collect();
+
+        // Deal devices round-robin, then walk each actor's queue
+        // sequentially.
+        let mut queues: Vec<Vec<DeviceId>> = vec![Vec::new(); actors.len()];
+        let n_queues = queues.len().max(1);
+        for (i, &dev) in job.devices.iter().enumerate() {
+            queues[i % n_queues].push(dev);
+        }
+        let mut makespan = SimDuration::ZERO;
+        for (actor, queue) in actors.iter_mut().zip(queues) {
+            let mut t = ready_at.saturating_add(download);
+            for dev in queue {
+                t = t.saturating_add(self.cost.device_compute(job.grade, rng));
+                actor.completions.push((dev, t));
+                t = t.saturating_add(self.cost.upload_per_device);
+            }
+            actor.finished_at = t;
+            makespan = makespan.max(t);
+        }
+
+        let plan = JobPlan {
+            task: job.task,
+            round: job.round,
+            grade: job.grade,
+            placement_group: pg_id,
+            actors,
+            makespan,
+        };
+        self.groups.insert(pg_id, group);
+        Ok(plan)
+    }
+
+    /// Releases the resources of a finished job. Returns `false` if the
+    /// group was unknown (already released).
+    pub fn release_job(&mut self, id: PlacementGroupId) -> bool {
+        match self.groups.remove(&id) {
+            Some(group) => {
+                group.release(&mut self.pool);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Shrinks the pool back to `keep` nodes where idle.
+    pub fn scale_down(&mut self, keep: usize) -> usize {
+        self.pool.scale_down(keep)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster() -> LogicalCluster {
+        LogicalCluster::new(ClusterConfig::default())
+    }
+
+    fn job(n_devices: u64, f: u32, k: u32) -> JobSpec {
+        JobSpec {
+            task: TaskId(1),
+            round: RoundId(0),
+            grade: DeviceGrade::High,
+            devices: (0..n_devices).map(DeviceId).collect(),
+            unit_bundles: f,
+            units_per_device: k,
+            payload_mib: 4.0,
+        }
+    }
+
+    #[test]
+    fn devices_split_evenly_across_actors() {
+        let mut c = cluster();
+        let mut rng = RngStream::from_seed(1);
+        let plan = c.submit_job(&job(100, 80, 8), &mut rng).unwrap();
+        assert_eq!(plan.actor_count(), 10);
+        for a in &plan.actors {
+            assert_eq!(a.completions.len(), 10);
+        }
+        assert_eq!(plan.device_completions().len(), 100);
+    }
+
+    #[test]
+    fn makespan_tracks_sequential_waves() {
+        let mut c = LogicalCluster::new(ClusterConfig {
+            cost: CostModel {
+                jitter_frac: 0.0,
+                ..CostModel::default()
+            },
+            ..ClusterConfig::default()
+        });
+        let mut rng = RngStream::from_seed(2);
+        let plan = c.submit_job(&job(100, 80, 8), &mut rng).unwrap();
+        let cost = c.cost();
+        // 10 devices per actor → 10·(α + upload) + setup + download.
+        let expected = cost
+            .pg_create
+            .saturating_add(cost.actor_spawn)
+            .saturating_add(cost.download_time(4.0))
+            .saturating_add(
+                (cost
+                    .alpha(DeviceGrade::High)
+                    .saturating_add(cost.upload_per_device))
+                    * 10,
+            );
+        assert_eq!(plan.makespan, expected);
+    }
+
+    #[test]
+    fn more_actors_shorter_makespan() {
+        let mut rng = RngStream::from_seed(3);
+        let mut c1 = cluster();
+        let narrow = c1.submit_job(&job(64, 8, 8), &mut rng).unwrap(); // 1 actor
+        let mut c2 = cluster();
+        let wide = c2.submit_job(&job(64, 64, 8), &mut rng).unwrap(); // 8 actors
+        assert!(wide.makespan < narrow.makespan);
+    }
+
+    #[test]
+    fn resources_are_held_until_release() {
+        let mut c = cluster();
+        let free_before = c.free_unit_bundles();
+        let mut rng = RngStream::from_seed(4);
+        let plan = c.submit_job(&job(100, 80, 8), &mut rng).unwrap();
+        assert_eq!(c.free_unit_bundles(), free_before - 80);
+        assert_eq!(c.active_jobs(), 1);
+        assert!(c.release_job(plan.placement_group));
+        assert_eq!(c.free_unit_bundles(), free_before);
+        assert!(!c.release_job(plan.placement_group), "double release");
+    }
+
+    #[test]
+    fn elastic_scale_up_handles_bursts() {
+        let mut c = cluster(); // 4×50 cores initially, max 16 nodes
+        let mut rng = RngStream::from_seed(5);
+        // 600 unit bundles > initial 200 cores → needs scale-up.
+        let plan = c.submit_job(&job(600, 600, 1), &mut rng).unwrap();
+        assert_eq!(plan.actor_count(), 600);
+        assert!(c.pool().len() > 4);
+    }
+
+    #[test]
+    fn exhaustion_after_max_nodes_is_an_error() {
+        let mut c = cluster(); // max 16 nodes × 50 cores = 800 cores
+        let mut rng = RngStream::from_seed(6);
+        let result = c.submit_job(&job(1_000, 1_000, 1), &mut rng);
+        assert!(matches!(result, Err(SimdcError::ResourceExhausted { .. })));
+        // Failed submission must not leak reservations.
+        assert_eq!(
+            c.free_unit_bundles(),
+            c.pool().placeable(&ResourceBundle::cores_gib(1, 1))
+        );
+        assert_eq!(c.active_jobs(), 0);
+    }
+
+    #[test]
+    fn empty_device_list_yields_empty_plan() {
+        let mut c = cluster();
+        let mut rng = RngStream::from_seed(7);
+        let plan = c.submit_job(&job(0, 80, 8), &mut rng).unwrap();
+        assert_eq!(plan.actor_count(), 0);
+        assert_eq!(plan.makespan, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn invalid_specs_rejected() {
+        let mut c = cluster();
+        let mut rng = RngStream::from_seed(8);
+        assert!(c.submit_job(&job(10, 80, 0), &mut rng).is_err());
+        assert!(c.submit_job(&job(10, 4, 8), &mut rng).is_err()); // f < k
+        let mut bad = job(10, 80, 8);
+        bad.payload_mib = f64::NAN;
+        assert!(c.submit_job(&bad, &mut rng).is_err());
+    }
+
+    #[test]
+    fn completions_are_monotone_within_actor() {
+        let mut c = cluster();
+        let mut rng = RngStream::from_seed(9);
+        let plan = c.submit_job(&job(50, 40, 8), &mut rng).unwrap();
+        for actor in &plan.actors {
+            for pair in actor.completions.windows(2) {
+                assert!(pair[0].1 < pair[1].1);
+            }
+            assert!(actor.finished_at >= actor.completions.last().unwrap().1);
+        }
+    }
+
+    #[test]
+    fn actor_count_capped_by_device_count() {
+        let mut c = cluster();
+        let mut rng = RngStream::from_seed(10);
+        let plan = c.submit_job(&job(3, 80, 8), &mut rng).unwrap();
+        assert_eq!(plan.actor_count(), 3, "no idle actors for tiny jobs");
+    }
+}

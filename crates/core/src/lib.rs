@@ -1,0 +1,68 @@
+//! The SimDC platform core: the paper's primary contribution.
+//!
+//! This crate assembles the substrates ([`simdc_cluster`], [`simdc_phone`],
+//! [`simdc_deviceflow`]) into the platform of Fig 1:
+//!
+//! * [`spec`] — task design specifications (§III-A): operator flows,
+//!   per-grade device populations and resource requests, priorities.
+//! * [`queue`] / [`scheduler`] — the Task Queue and the greedy Task
+//!   Scheduler (§III-B).
+//! * [`resources`] — the Resource Manager: query / freeze / release /
+//!   scale.
+//! * [`alloc`] — the hybrid allocation optimizer (§IV-B): the exact integer
+//!   minimizer of `T = max(Tl, Tp)` with the "prefer logical" secondary
+//!   objective.
+//! * [`cloud`] — shared storage, update codecs and aggregation triggers.
+//! * [`runner`] — the Task Runner: executes the multi-round operator flow
+//!   over hybrid resources, routes messages through DeviceFlow, trains real
+//!   models with the dual numeric kernels, and aggregates with FedAvg.
+//! * [`platform`] — the façade tying everything together.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use simdc_core::cloud::AggregationTrigger;
+//! use simdc_core::platform::Platform;
+//! use simdc_core::spec::{GradeRequirement, TaskSpec};
+//! use simdc_data::{CtrDataset, GeneratorConfig};
+//! use simdc_types::{DeviceGrade, TaskId};
+//!
+//! let mut platform = Platform::paper_default();
+//! let data = Arc::new(CtrDataset::generate(&GeneratorConfig {
+//!     n_devices: 20,
+//!     n_test_devices: 4,
+//!     feature_dim: 1 << 12,
+//!     ..GeneratorConfig::default()
+//! }));
+//! let spec = TaskSpec::builder(TaskId(1))
+//!     .rounds(2)
+//!     .grade(GradeRequirement::sized(DeviceGrade::High, 10))
+//!     .trigger(AggregationTrigger::DeviceThreshold { min_devices: 10 })
+//!     .build()?;
+//! platform.submit(spec, data)?;
+//! platform.run_until_idle();
+//! let report = platform.report(TaskId(1)).expect("completed");
+//! assert_eq!(report.rounds.len(), 2);
+//! # Ok::<(), simdc_types::SimdcError>(())
+//! ```
+
+pub mod alloc;
+pub mod cloud;
+pub mod platform;
+pub mod queue;
+pub mod resources;
+pub mod runner;
+pub mod scheduler;
+pub mod spec;
+
+pub use alloc::{optimize, Allocation, GradeAllocParams, GradeAllocation};
+pub use cloud::{AggregationTrigger, RoundOutcome, Storage};
+pub use platform::{Platform, PlatformConfig, PlatformStatus};
+pub use queue::{TaskQueue, TaskRecord, TaskState};
+pub use resources::{ResourceClaim, ResourceManager};
+pub use runner::{RoundReport, RunnerConfig, TaskReport, TaskRunner};
+pub use scheduler::GreedyScheduler;
+pub use spec::{
+    AllocationPolicy, GradeRequirement, Operator, OperatorFlow, TaskSpec, TaskSpecBuilder,
+};

@@ -1,0 +1,381 @@
+//! The SimDC platform facade: Task Manager + Resource Manager + substrates
+//! wired together.
+//!
+//! [`Platform`] owns the logical cluster, the phone fleet, shared storage
+//! and the task queue. Tasks are submitted with their dataset, admitted by
+//! the greedy scheduler as resources allow, executed by the
+//! [`crate::runner::TaskRunner`] on the virtual timeline, and their
+//! [`TaskReport`]s retained for inspection — the programmatic equivalent of
+//! the paper's GUI monitoring.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+use simdc_cluster::{ClusterConfig, LogicalCluster};
+use simdc_data::CtrDataset;
+use simdc_phone::mgr::FleetSpec;
+use simdc_phone::PhoneMgr;
+use simdc_types::{PerGrade, Result, SimDuration, SimInstant, SimdcError, TaskId};
+
+use crate::cloud::Storage;
+use crate::queue::{TaskQueue, TaskState};
+use crate::resources::ResourceManager;
+use crate::runner::{RunnerConfig, TaskReport, TaskRunner};
+use crate::scheduler::GreedyScheduler;
+use crate::spec::TaskSpec;
+
+/// Platform-wide configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformConfig {
+    /// Logical-simulation cluster.
+    pub cluster: ClusterConfig,
+    /// Phone fleet composition.
+    pub fleet: FleetSpec,
+    /// Benchmark polling interval.
+    pub poll_interval: SimDuration,
+    /// Runner tunables.
+    pub runner: RunnerConfig,
+    /// Platform seed (forked per phone/task).
+    pub seed: u64,
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        PlatformConfig {
+            cluster: ClusterConfig::default(),
+            fleet: FleetSpec::paper_default(),
+            poll_interval: SimDuration::from_secs(1),
+            runner: RunnerConfig::default(),
+            seed: 0x51AD_C0DE,
+        }
+    }
+}
+
+/// A point-in-time view of the platform (what the paper's GUI displays).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlatformStatus {
+    /// Virtual clock.
+    pub now: SimInstant,
+    /// Tasks waiting.
+    pub pending: usize,
+    /// Tasks executing.
+    pub running: usize,
+    /// Tasks finished (completed or failed).
+    pub finished: usize,
+    /// Free unit bundles.
+    pub free_bundles: u64,
+    /// Free phones per grade.
+    pub free_phones: PerGrade<u64>,
+}
+
+/// The assembled platform.
+pub struct Platform {
+    cluster: LogicalCluster,
+    phones: PhoneMgr,
+    storage: Storage,
+    rm: ResourceManager,
+    queue: TaskQueue,
+    scheduler: GreedyScheduler,
+    runner: TaskRunner,
+    datasets: HashMap<TaskId, Arc<CtrDataset>>,
+    reports: HashMap<TaskId, TaskReport>,
+    clock: SimInstant,
+    total_bundles: u64,
+    total_phones: PerGrade<u64>,
+}
+
+impl std::fmt::Debug for Platform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Platform")
+            .field("clock", &self.clock)
+            .field("tasks", &self.queue.census())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Platform {
+    /// Builds a platform from `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid cluster configuration (validate it first for a
+    /// recoverable error).
+    #[must_use]
+    pub fn new(config: PlatformConfig) -> Self {
+        let cluster = LogicalCluster::new(config.cluster.clone());
+        let phones = PhoneMgr::with_fleet(config.fleet, config.poll_interval, config.seed);
+        let total_bundles = cluster.free_unit_bundles();
+        let total_phones = PerGrade::from_fn(|g| phones.count(g, None) as u64);
+        Platform {
+            cluster,
+            phones,
+            storage: Storage::new(),
+            rm: ResourceManager::new(total_bundles, total_phones),
+            queue: TaskQueue::new(),
+            scheduler: GreedyScheduler::new(),
+            runner: TaskRunner::new(config.runner),
+            datasets: HashMap::new(),
+            reports: HashMap::new(),
+            clock: SimInstant::EPOCH,
+            total_bundles,
+            total_phones,
+        }
+    }
+
+    /// Builds the paper's default platform (200-core cluster, 30 phones).
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Platform::new(PlatformConfig::default())
+    }
+
+    /// Submits a task with its dataset. Tasks start when the scheduler
+    /// admits them during [`Platform::run_until_idle`].
+    ///
+    /// # Errors
+    ///
+    /// Returns validation errors, duplicates, and `InvalidConfig` when the
+    /// task could never fit the platform's total capacity.
+    pub fn submit(&mut self, spec: TaskSpec, dataset: Arc<CtrDataset>) -> Result<TaskId> {
+        spec.validate()?;
+        if !self
+            .scheduler
+            .feasible_at_all(&spec, self.total_bundles, self.total_phones)
+        {
+            return Err(SimdcError::ResourceExhausted {
+                requested: format!("claim of task {}", spec.id),
+                available: "total platform capacity".into(),
+            });
+        }
+        let id = spec.id;
+        self.queue.submit(spec)?;
+        self.datasets.insert(id, dataset);
+        Ok(id)
+    }
+
+    /// Runs the scheduling loop until no task is pending or running:
+    /// admit → execute → release → advance the virtual clock to the next
+    /// completion → repeat. Returns the number of tasks completed.
+    pub fn run_until_idle(&mut self) -> usize {
+        let mut completed = 0usize;
+        loop {
+            let started = self.scheduler.schedule(&self.queue, &mut self.rm);
+            if started.is_empty() {
+                // Nothing admissible: if nothing is running either, the
+                // remaining pending tasks are starved — fail them loudly.
+                let (pending, running, _) = self.queue.census();
+                if running == 0 {
+                    if pending > 0 {
+                        for id in self.queue.pending_by_priority() {
+                            self.rm.release(id);
+                            let _ = self
+                                .queue
+                                .mark_failed(id, "resources never became available");
+                        }
+                    }
+                    break;
+                }
+            }
+
+            // Execute everything admitted in this wave; their virtual spans
+            // overlap (they hold disjoint frozen resources).
+            let mut completions: Vec<(TaskId, SimInstant)> = Vec::new();
+            for id in started {
+                let start = self.clock;
+                if self.queue.mark_running(id, start).is_err() {
+                    continue;
+                }
+                let spec = self.queue.get(id).expect("just marked").spec.clone();
+                let dataset = self
+                    .datasets
+                    .get(&id)
+                    .expect("dataset registered at submit")
+                    .clone();
+                match self.runner.execute(
+                    &spec,
+                    &dataset,
+                    &mut self.cluster,
+                    &mut self.phones,
+                    &mut self.storage,
+                    start,
+                ) {
+                    Ok(report) => {
+                        let finished = report.finished_at;
+                        self.reports.insert(id, report);
+                        completions.push((id, finished));
+                    }
+                    Err(err) => {
+                        self.rm.release(id);
+                        let _ = self.queue.mark_failed(id, err.to_string());
+                    }
+                }
+            }
+
+            // Release in completion order and advance the clock.
+            completions.sort_by_key(|&(_, at)| at);
+            for (id, at) in completions {
+                self.rm.release(id);
+                let _ = self.queue.mark_completed(id, at);
+                self.clock = self.clock.max(at);
+                completed += 1;
+            }
+
+            let (pending, running, _) = self.queue.census();
+            if pending == 0 && running == 0 {
+                break;
+            }
+        }
+        completed
+    }
+
+    /// The report of a completed task.
+    #[must_use]
+    pub fn report(&self, id: TaskId) -> Option<&TaskReport> {
+        self.reports.get(&id)
+    }
+
+    /// The lifecycle state of a task.
+    #[must_use]
+    pub fn task_state(&self, id: TaskId) -> Option<&TaskState> {
+        self.queue.get(id).map(|r| &r.state)
+    }
+
+    /// Point-in-time status snapshot.
+    #[must_use]
+    pub fn status(&self) -> PlatformStatus {
+        let (pending, running, finished) = self.queue.census();
+        PlatformStatus {
+            now: self.clock,
+            pending,
+            running,
+            finished,
+            free_bundles: self.rm.free_bundles(),
+            free_phones: PerGrade::from_fn(|g| self.rm.free_phones(g)),
+        }
+    }
+
+    /// The phone manager (e.g. for fleet inspection).
+    #[must_use]
+    pub fn phones(&self) -> &PhoneMgr {
+        &self.phones
+    }
+
+    /// The logical cluster.
+    #[must_use]
+    pub fn cluster(&self) -> &LogicalCluster {
+        &self.cluster
+    }
+
+    /// Shared storage.
+    #[must_use]
+    pub fn storage(&self) -> &Storage {
+        &self.storage
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cloud::AggregationTrigger;
+    use crate::spec::GradeRequirement;
+    use simdc_data::GeneratorConfig;
+    use simdc_types::DeviceGrade;
+
+    fn dataset() -> Arc<CtrDataset> {
+        Arc::new(CtrDataset::generate(&GeneratorConfig {
+            n_devices: 30,
+            n_test_devices: 6,
+            mean_records_per_device: 15.0,
+            feature_dim: 1 << 12,
+            seed: 77,
+            ..GeneratorConfig::default()
+        }))
+    }
+
+    fn small_spec(id: u64, priority: u32) -> TaskSpec {
+        TaskSpec::builder(TaskId(id))
+            .priority(priority)
+            .rounds(2)
+            .grade(GradeRequirement {
+                grade: DeviceGrade::High,
+                total_devices: 12,
+                benchmark_phones: 1,
+                logical_unit_bundles: 24,
+                units_per_device: 8,
+                phones: 3,
+            })
+            .trigger(AggregationTrigger::DeviceThreshold { min_devices: 12 })
+            .seed(id)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn submit_and_run_single_task() {
+        let mut platform = Platform::paper_default();
+        let data = dataset();
+        platform.submit(small_spec(1, 0), data).unwrap();
+        let completed = platform.run_until_idle();
+        assert_eq!(completed, 1);
+        let report = platform.report(TaskId(1)).unwrap();
+        assert_eq!(report.rounds.len(), 2);
+        assert!(matches!(
+            platform.task_state(TaskId(1)),
+            Some(TaskState::Completed { .. })
+        ));
+        let status = platform.status();
+        assert_eq!(status.finished, 1);
+        assert_eq!(status.free_bundles, 200);
+    }
+
+    #[test]
+    fn multiple_tasks_complete_in_priority_order() {
+        let mut platform = Platform::paper_default();
+        let data = dataset();
+        platform.submit(small_spec(1, 1), data.clone()).unwrap();
+        platform.submit(small_spec(2, 9), data.clone()).unwrap();
+        platform.submit(small_spec(3, 5), data).unwrap();
+        let completed = platform.run_until_idle();
+        assert_eq!(completed, 3);
+        for id in [1u64, 2, 3] {
+            assert!(platform.report(TaskId(id)).is_some());
+        }
+    }
+
+    #[test]
+    fn infeasible_task_rejected_at_submit() {
+        let mut platform = Platform::paper_default();
+        let spec = TaskSpec::builder(TaskId(1))
+            .grade(GradeRequirement {
+                grade: DeviceGrade::High,
+                total_devices: 10,
+                benchmark_phones: 0,
+                logical_unit_bundles: 10_000,
+                units_per_device: 1,
+                phones: 0,
+            })
+            .build()
+            .unwrap();
+        assert!(platform.submit(spec, dataset()).is_err());
+    }
+
+    #[test]
+    fn duplicate_submission_rejected() {
+        let mut platform = Platform::paper_default();
+        let data = dataset();
+        platform.submit(small_spec(1, 0), data.clone()).unwrap();
+        assert!(platform.submit(small_spec(1, 0), data).is_err());
+    }
+
+    #[test]
+    fn status_reflects_queue() {
+        let mut platform = Platform::paper_default();
+        platform.submit(small_spec(1, 0), dataset()).unwrap();
+        let before = platform.status();
+        assert_eq!(before.pending, 1);
+        platform.run_until_idle();
+        let after = platform.status();
+        assert_eq!(after.pending, 0);
+        assert!(after.now > before.now);
+    }
+}

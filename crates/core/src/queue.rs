@@ -1,0 +1,295 @@
+//! The task queue and task lifecycle states.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use simdc_types::{Result, SimInstant, SimdcError, TaskId};
+
+use crate::spec::TaskSpec;
+
+/// Lifecycle state of a submitted task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TaskState {
+    /// Waiting in the queue.
+    Pending,
+    /// Resources frozen, executing.
+    Running {
+        /// Virtual start time.
+        started_at: SimInstant,
+    },
+    /// Finished successfully.
+    Completed {
+        /// Virtual start time.
+        started_at: SimInstant,
+        /// Virtual completion time.
+        finished_at: SimInstant,
+    },
+    /// Failed (message explains why).
+    Failed {
+        /// Failure description.
+        reason: String,
+    },
+}
+
+impl TaskState {
+    /// Whether the task still occupies queue capacity.
+    #[must_use]
+    pub fn is_pending(&self) -> bool {
+        matches!(self, TaskState::Pending)
+    }
+
+    /// Whether the task is executing.
+    #[must_use]
+    pub fn is_running(&self) -> bool {
+        matches!(self, TaskState::Running { .. })
+    }
+
+    /// Whether the task reached a terminal state.
+    #[must_use]
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, TaskState::Completed { .. } | TaskState::Failed { .. })
+    }
+}
+
+/// A queued task: spec + state + submission order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskRecord {
+    /// The specification.
+    pub spec: TaskSpec,
+    /// Current lifecycle state.
+    pub state: TaskState,
+    /// Monotonic submission sequence (FIFO tie-break).
+    pub submitted_seq: u64,
+}
+
+/// The Task Queue of §III-B: ordered by priority (descending) with FIFO
+/// tie-break.
+#[derive(Debug, Default)]
+pub struct TaskQueue {
+    records: BTreeMap<TaskId, TaskRecord>,
+    next_seq: u64,
+}
+
+impl TaskQueue {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        TaskQueue::default()
+    }
+
+    /// Submits a validated spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidConfig` on duplicate ids or propagates spec
+    /// validation errors.
+    pub fn submit(&mut self, spec: TaskSpec) -> Result<()> {
+        spec.validate()?;
+        if self.records.contains_key(&spec.id) {
+            return Err(SimdcError::InvalidConfig(format!(
+                "task {} already submitted",
+                spec.id
+            )));
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.records.insert(
+            spec.id,
+            TaskRecord {
+                spec,
+                state: TaskState::Pending,
+                submitted_seq: seq,
+            },
+        );
+        Ok(())
+    }
+
+    /// A record by id.
+    #[must_use]
+    pub fn get(&self, id: TaskId) -> Option<&TaskRecord> {
+        self.records.get(&id)
+    }
+
+    /// Mutable record access.
+    pub fn get_mut(&mut self, id: TaskId) -> Option<&mut TaskRecord> {
+        self.records.get_mut(&id)
+    }
+
+    /// Pending tasks ordered by `(priority desc, submission asc)` — the
+    /// order the greedy scheduler scans.
+    #[must_use]
+    pub fn pending_by_priority(&self) -> Vec<TaskId> {
+        let mut pending: Vec<&TaskRecord> = self
+            .records
+            .values()
+            .filter(|r| r.state.is_pending())
+            .collect();
+        pending.sort_by(|a, b| {
+            b.spec
+                .priority
+                .cmp(&a.spec.priority)
+                .then(a.submitted_seq.cmp(&b.submitted_seq))
+        });
+        pending.iter().map(|r| r.spec.id).collect()
+    }
+
+    /// Number of tasks in each broad state: `(pending, running, terminal)`.
+    #[must_use]
+    pub fn census(&self) -> (usize, usize, usize) {
+        let mut counts = (0, 0, 0);
+        for r in self.records.values() {
+            if r.state.is_pending() {
+                counts.0 += 1;
+            } else if r.state.is_running() {
+                counts.1 += 1;
+            } else {
+                counts.2 += 1;
+            }
+        }
+        counts
+    }
+
+    /// Marks a task running.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimdcError::TaskNotFound`] for unknown ids and
+    /// `InvalidConfig` when the task is not pending.
+    pub fn mark_running(&mut self, id: TaskId, at: SimInstant) -> Result<()> {
+        let record = self
+            .records
+            .get_mut(&id)
+            .ok_or(SimdcError::TaskNotFound(id))?;
+        if !record.state.is_pending() {
+            return Err(SimdcError::InvalidConfig(format!(
+                "task {id} is not pending"
+            )));
+        }
+        record.state = TaskState::Running { started_at: at };
+        Ok(())
+    }
+
+    /// Marks a running task completed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimdcError::TaskNotFound`] / `InvalidConfig` analogous to
+    /// [`TaskQueue::mark_running`].
+    pub fn mark_completed(&mut self, id: TaskId, at: SimInstant) -> Result<()> {
+        let record = self
+            .records
+            .get_mut(&id)
+            .ok_or(SimdcError::TaskNotFound(id))?;
+        match record.state {
+            TaskState::Running { started_at } => {
+                record.state = TaskState::Completed {
+                    started_at,
+                    finished_at: at,
+                };
+                Ok(())
+            }
+            _ => Err(SimdcError::InvalidConfig(format!(
+                "task {id} is not running"
+            ))),
+        }
+    }
+
+    /// Marks a task failed from any non-terminal state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimdcError::TaskNotFound`] for unknown ids.
+    pub fn mark_failed(&mut self, id: TaskId, reason: impl Into<String>) -> Result<()> {
+        let record = self
+            .records
+            .get_mut(&id)
+            .ok_or(SimdcError::TaskNotFound(id))?;
+        record.state = TaskState::Failed {
+            reason: reason.into(),
+        };
+        Ok(())
+    }
+
+    /// All task ids in submission order.
+    #[must_use]
+    pub fn all_ids(&self) -> Vec<TaskId> {
+        let mut ids: Vec<(u64, TaskId)> = self
+            .records
+            .values()
+            .map(|r| (r.submitted_seq, r.spec.id))
+            .collect();
+        ids.sort_unstable();
+        ids.into_iter().map(|(_, id)| id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::GradeRequirement;
+    use simdc_types::DeviceGrade;
+
+    fn spec(id: u64, priority: u32) -> TaskSpec {
+        TaskSpec::builder(TaskId(id))
+            .priority(priority)
+            .grade(GradeRequirement::sized(DeviceGrade::High, 4))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn priority_order_with_fifo_tiebreak() {
+        let mut q = TaskQueue::new();
+        q.submit(spec(1, 5)).unwrap();
+        q.submit(spec(2, 9)).unwrap();
+        q.submit(spec(3, 5)).unwrap();
+        assert_eq!(
+            q.pending_by_priority(),
+            vec![TaskId(2), TaskId(1), TaskId(3)]
+        );
+    }
+
+    #[test]
+    fn duplicate_submission_rejected() {
+        let mut q = TaskQueue::new();
+        q.submit(spec(1, 0)).unwrap();
+        assert!(q.submit(spec(1, 3)).is_err());
+    }
+
+    #[test]
+    fn lifecycle_transitions() {
+        let mut q = TaskQueue::new();
+        q.submit(spec(1, 0)).unwrap();
+        let t0 = SimInstant::EPOCH;
+        q.mark_running(TaskId(1), t0).unwrap();
+        assert!(q.get(TaskId(1)).unwrap().state.is_running());
+        assert!(q.mark_running(TaskId(1), t0).is_err());
+        let t1 = t0 + simdc_types::SimDuration::from_secs(5);
+        q.mark_completed(TaskId(1), t1).unwrap();
+        assert!(q.get(TaskId(1)).unwrap().state.is_terminal());
+        assert!(q.mark_completed(TaskId(1), t1).is_err());
+        assert_eq!(q.census(), (0, 0, 1));
+    }
+
+    #[test]
+    fn failing_a_pending_task() {
+        let mut q = TaskQueue::new();
+        q.submit(spec(1, 0)).unwrap();
+        q.mark_failed(TaskId(1), "resources never became available")
+            .unwrap();
+        assert!(q.get(TaskId(1)).unwrap().state.is_terminal());
+        assert!(q.mark_failed(TaskId(9), "x").is_err());
+    }
+
+    #[test]
+    fn census_counts_states() {
+        let mut q = TaskQueue::new();
+        for i in 0..4 {
+            q.submit(spec(i, 0)).unwrap();
+        }
+        q.mark_running(TaskId(0), SimInstant::EPOCH).unwrap();
+        q.mark_failed(TaskId(1), "boom").unwrap();
+        assert_eq!(q.census(), (2, 1, 1));
+        assert_eq!(q.all_ids().len(), 4);
+    }
+}

@@ -1,0 +1,870 @@
+//! The Task Runner: executes one task's multi-round operator flow over
+//! hybrid heterogeneous resources.
+//!
+//! Per round, the runner
+//!
+//! 1. splits each grade's devices between the logical cluster and the
+//!    phone cluster according to the task's allocation,
+//! 2. actually trains every simulated device's model on its local shard —
+//!    server kernel on the cluster, mobile kernel on phones (the §VI-B.2
+//!    implementation split),
+//! 3. uploads updates to shared storage and feeds the announcement
+//!    messages through DeviceFlow at each device's virtual completion
+//!    time,
+//! 4. lets the cloud trigger decide the aggregation instant, FedAvgs the
+//!    updates that made it, and evaluates the new global model.
+//!
+//! Everything is deterministic given the task seed and start instant.
+
+use serde::{Deserialize, Serialize};
+use simdc_cluster::{JobSpec, LogicalCluster};
+use simdc_data::CtrDataset;
+use simdc_deviceflow::{DeviceFlow, FlowHarness};
+use simdc_ml::{evaluate, EvalMetrics, FedAvg, KernelKind, LocalTrainer, LrModel};
+use simdc_phone::{PerfReport, PhoneMgr, PhoneProfile};
+use simdc_simrt::RngStream;
+use simdc_types::{
+    DeviceId, Message, MessageId, PhoneId, Result, RoundId, SimDuration, SimInstant, SimdcError,
+    StorageKey, TaskId,
+};
+
+use crate::alloc::{optimize, Allocation, GradeAllocParams, GradeAllocation};
+use crate::cloud::{decode_update, encode_update, resolve_round, Storage};
+use crate::spec::{AllocationPolicy, TaskSpec};
+
+/// One round's outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundReport {
+    /// The round.
+    pub round: RoundId,
+    /// Virtual round start.
+    pub started_at: SimInstant,
+    /// When the slowest device finished computing.
+    pub compute_finished_at: SimInstant,
+    /// When the cloud aggregated.
+    pub aggregated_at: SimInstant,
+    /// Whether the trigger fired (vs. round timeout).
+    pub trigger_fired: bool,
+    /// Updates included in the aggregate.
+    pub included_updates: u64,
+    /// Training samples behind the aggregate.
+    pub included_samples: u64,
+    /// Messages that arrived after aggregation.
+    pub stragglers: u64,
+    /// Messages lost to DeviceFlow dropout simulation.
+    pub dropped_messages: u64,
+    /// Sample-weighted mean training loss of included updates.
+    pub train_loss: f64,
+    /// Global-model metrics on the held-out test set after aggregation.
+    pub eval: EvalMetrics,
+}
+
+/// A completed task's full report.
+#[derive(Debug, Clone)]
+pub struct TaskReport {
+    /// The task.
+    pub task: TaskId,
+    /// Virtual start.
+    pub started_at: SimInstant,
+    /// Virtual completion (last aggregation or benchmark teardown).
+    pub finished_at: SimInstant,
+    /// Per-round outcomes.
+    pub rounds: Vec<RoundReport>,
+    /// The allocation used.
+    pub allocation: Allocation,
+    /// The final global model.
+    pub final_model: LrModel,
+    /// Benchmarking-phone measurement reports (Table I / Fig 5 data).
+    pub benchmark_reports: Vec<PerfReport>,
+}
+
+impl TaskReport {
+    /// Total virtual duration.
+    #[must_use]
+    pub fn duration(&self) -> SimDuration {
+        self.finished_at.duration_since(self.started_at)
+    }
+
+    /// Final-round test accuracy (0 if no rounds ran).
+    #[must_use]
+    pub fn final_accuracy(&self) -> f64 {
+        self.rounds.last().map_or(0.0, |r| r.eval.accuracy)
+    }
+}
+
+/// Tunables of the runner itself (not task-specific).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RunnerConfig {
+    /// Data payload each logical actor downloads per round, MiB (on top of
+    /// the serialized model).
+    pub data_payload_mib: f64,
+    /// Whether to run benchmark-phone measurement after the rounds.
+    pub measure_benchmarks: bool,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        RunnerConfig {
+            data_payload_mib: 4.0,
+            measure_benchmarks: true,
+        }
+    }
+}
+
+/// Executes tasks against borrowed substrates.
+#[derive(Debug)]
+pub struct TaskRunner {
+    config: RunnerConfig,
+}
+
+impl Default for TaskRunner {
+    fn default() -> Self {
+        TaskRunner::new(RunnerConfig::default())
+    }
+}
+
+struct GradePlacement {
+    logical_devices: Vec<DeviceId>,
+    phone_devices: Vec<DeviceId>,
+    benchmark_devices: Vec<(DeviceId, PhoneId)>,
+}
+
+impl TaskRunner {
+    /// Creates a runner.
+    #[must_use]
+    pub fn new(config: RunnerConfig) -> Self {
+        TaskRunner { config }
+    }
+
+    /// Computes the allocation a spec would use against the given
+    /// substrates, without executing it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates optimizer infeasibility.
+    pub fn plan_allocation(&self, spec: &TaskSpec, cluster: &LogicalCluster) -> Result<Allocation> {
+        let params = Self::alloc_params(spec, cluster);
+        match spec.allocation {
+            AllocationPolicy::Optimized => optimize(&params),
+            AllocationPolicy::FixedLogicalFraction(frac) => {
+                let grades: Vec<GradeAllocation> = params
+                    .iter()
+                    .map(|p| {
+                        let x = ((p.splittable() as f64) * frac).round() as u64;
+                        let x = x.min(p.splittable());
+                        GradeAllocation {
+                            logical_devices: x,
+                            phone_devices: p.splittable() - x,
+                            benchmark_devices: p.benchmark,
+                            grade_time: p.grade_time(x),
+                        }
+                    })
+                    .collect();
+                let task_time = grades
+                    .iter()
+                    .map(|g| g.grade_time)
+                    .max()
+                    .unwrap_or(SimDuration::ZERO);
+                Ok(Allocation { grades, task_time })
+            }
+        }
+    }
+
+    fn alloc_params(spec: &TaskSpec, cluster: &LogicalCluster) -> Vec<GradeAllocParams> {
+        spec.grades
+            .iter()
+            .map(|g| {
+                let profile = PhoneProfile::for_grade(g.grade);
+                GradeAllocParams {
+                    total_devices: g.total_devices,
+                    benchmark: g.benchmark_phones,
+                    unit_bundles: g.logical_unit_bundles,
+                    units_per_device: g.units_per_device,
+                    phones: g.phones,
+                    alpha: cluster.cost().alpha(g.grade),
+                    beta: profile.beta(),
+                    lambda: profile.lambda(),
+                }
+            })
+            .collect()
+    }
+
+    /// Executes `spec` starting at virtual time `start`.
+    ///
+    /// # Errors
+    ///
+    /// Returns validation/allocation/resource errors; a task that starts
+    /// executing always produces a report (rounds that time out aggregate
+    /// best-effort).
+    #[allow(clippy::too_many_lines)]
+    pub fn execute(
+        &self,
+        spec: &TaskSpec,
+        dataset: &CtrDataset,
+        cluster: &mut LogicalCluster,
+        phones: &mut PhoneMgr,
+        storage: &mut Storage,
+        start: SimInstant,
+    ) -> Result<TaskReport> {
+        spec.validate()?;
+        let allocation = self.plan_allocation(spec, cluster)?;
+        let mut rng = RngStream::named(spec.seed, &format!("task/{}", spec.id.0));
+
+        // --- Device placement -------------------------------------------
+        let mut placements: Vec<GradePlacement> = Vec::with_capacity(spec.grades.len());
+        let mut next_device: u64 = 0;
+        for (g, alloc) in spec.grades.iter().zip(&allocation.grades) {
+            let mut take = |n: u64| -> Vec<DeviceId> {
+                let ids = (next_device..next_device + n).map(DeviceId).collect();
+                next_device += n;
+                ids
+            };
+            let logical_devices = take(alloc.logical_devices);
+            let phone_devices = take(alloc.phone_devices);
+            let benchmark_ids = take(alloc.benchmark_devices);
+            let benchmark_phones = if alloc.benchmark_devices > 0 {
+                phones.select(g.grade, alloc.benchmark_devices as usize, start)?
+            } else {
+                Vec::new()
+            };
+            placements.push(GradePlacement {
+                logical_devices,
+                phone_devices,
+                benchmark_devices: benchmark_ids.into_iter().zip(benchmark_phones).collect(),
+            });
+        }
+
+        // --- DeviceFlow -------------------------------------------------
+        let mut harness = spec.strategy.as_ref().map(|strategy| {
+            let mut flow = DeviceFlow::new();
+            flow.register_task(spec.id, strategy.clone())
+                .expect("spec validation checked the strategy");
+            FlowHarness::new(flow, rng.fork("deviceflow"))
+        });
+        let mut delivered_seen = 0usize;
+        let mut dropped_seen = 0u64;
+
+        // --- Round loop --------------------------------------------------
+        let trainer = LocalTrainer::new(spec.train);
+        let mut global = LrModel::zeros(dataset.feature_dim);
+        let mut rounds: Vec<RoundReport> = Vec::with_capacity(spec.rounds as usize);
+        let mut round_start = start;
+        let mut message_seq: u64 = 0;
+
+        for round_idx in 0..spec.rounds {
+            let round = RoundId(round_idx);
+            storage.put(
+                StorageKey::for_global_model(spec.id, round),
+                global.to_bytes(),
+            );
+
+            // Compute every device's completion offset and train it.
+            let mut emissions: Vec<(SimInstant, Message)> = Vec::new();
+            let mut compute_finished = round_start;
+            let payload_mib =
+                self.config.data_payload_mib + global.serialized_size() as f64 / (1024.0 * 1024.0);
+
+            for (g, placement) in spec.grades.iter().zip(&placements) {
+                let profile = PhoneProfile::for_grade(g.grade);
+                // Logical side.
+                if !placement.logical_devices.is_empty() {
+                    let job = JobSpec {
+                        task: spec.id,
+                        round,
+                        grade: g.grade,
+                        devices: placement.logical_devices.clone(),
+                        unit_bundles: g.logical_unit_bundles as u32,
+                        units_per_device: g.units_per_device as u32,
+                        payload_mib,
+                    };
+                    let plan = cluster.submit_job(&job, &mut rng)?;
+                    for (dev, offset) in plan.device_completions() {
+                        let at = round_start + offset;
+                        compute_finished = compute_finished.max(at);
+                        emissions.push((
+                            at,
+                            self.train_device(
+                                spec,
+                                dataset,
+                                &trainer,
+                                &global,
+                                storage,
+                                dev,
+                                round,
+                                KernelKind::Server,
+                                at,
+                                &mut message_seq,
+                            ),
+                        ));
+                    }
+                    cluster.release_job(plan.placement_group);
+                }
+                // Phone compute side: waves over the granted phones.
+                let compute_phones = g.phones.max(1);
+                let startup = if round_idx == 0 {
+                    profile.lambda()
+                } else {
+                    SimDuration::ZERO
+                };
+                for (j, &dev) in placement.phone_devices.iter().enumerate() {
+                    let wave = (j as u64) / compute_phones;
+                    let at = round_start + startup + profile.beta() * (wave + 1);
+                    compute_finished = compute_finished.max(at);
+                    emissions.push((
+                        at,
+                        self.train_device(
+                            spec,
+                            dataset,
+                            &trainer,
+                            &global,
+                            storage,
+                            dev,
+                            round,
+                            KernelKind::Mobile,
+                            at,
+                            &mut message_seq,
+                        ),
+                    ));
+                }
+                // Benchmark devices: one per phone, first wave.
+                for &(dev, _phone) in &placement.benchmark_devices {
+                    let at = round_start + startup + profile.beta();
+                    compute_finished = compute_finished.max(at);
+                    emissions.push((
+                        at,
+                        self.train_device(
+                            spec,
+                            dataset,
+                            &trainer,
+                            &global,
+                            storage,
+                            dev,
+                            round,
+                            KernelKind::Mobile,
+                            at,
+                            &mut message_seq,
+                        ),
+                    ));
+                }
+            }
+            emissions.sort_by_key(|(at, m)| (*at, m.id));
+
+            // Route through DeviceFlow (or deliver directly) and let the
+            // trigger pick the aggregation instant.
+            let deadline = round_start + spec.round_timeout;
+            let (included, aggregated_at, trigger_fired, stragglers, dropped_messages) =
+                match harness.as_mut() {
+                    Some(h) => {
+                        let (included, at, fired) = run_flow_round(
+                            h,
+                            spec,
+                            round,
+                            &emissions,
+                            round_start,
+                            compute_finished,
+                            deadline,
+                            &mut delivered_seen,
+                        );
+                        let dropped_total = h.flow().stats(spec.id).map_or(0, |s| s.dropped);
+                        let dropped = dropped_total - dropped_seen;
+                        dropped_seen = dropped_total;
+                        // Anything emitted but neither aggregated nor
+                        // dropped is a straggler (possibly still shelved).
+                        let stragglers = (emissions.len() as u64)
+                            .saturating_sub(included.len() as u64)
+                            .saturating_sub(dropped);
+                        (included, at, fired, stragglers, dropped)
+                    }
+                    None => {
+                        let outcome = resolve_round(
+                            spec.trigger,
+                            round_start,
+                            &emissions,
+                            spec.round_timeout,
+                        );
+                        (
+                            outcome.included,
+                            outcome.aggregated_at,
+                            outcome.trigger_fired,
+                            outcome.stragglers,
+                            0,
+                        )
+                    }
+                };
+
+            // Cloud side: fetch, aggregate, evaluate.
+            let mut updates = Vec::with_capacity(included.len());
+            for m in &included {
+                let key = m.storage_key.as_ref().ok_or_else(|| {
+                    SimdcError::Serialization("model-update message without key".into())
+                })?;
+                updates.push(decode_update(storage.get(key)?)?);
+            }
+            let included_samples: u64 = updates.iter().map(|u| u.n_samples).sum();
+            let train_loss = FedAvg::weighted_loss(&updates);
+            if !updates.is_empty() {
+                global = FedAvg::aggregate(&updates)?;
+            }
+            let eval = evaluate(&global, &dataset.test);
+
+            // Clean consumed payloads out of storage.
+            for (_, m) in &emissions {
+                if let Some(key) = &m.storage_key {
+                    storage.remove(key);
+                }
+            }
+
+            rounds.push(RoundReport {
+                round,
+                started_at: round_start,
+                compute_finished_at: compute_finished,
+                aggregated_at,
+                trigger_fired,
+                included_updates: included.len() as u64,
+                included_samples,
+                stragglers,
+                dropped_messages,
+                train_loss,
+                eval,
+            });
+            round_start = aggregated_at;
+        }
+
+        // --- Benchmark measurement ---------------------------------------
+        let mut benchmark_reports = Vec::new();
+        let mut finished_at = rounds.last().map_or(start, |r| r.aggregated_at);
+        if self.config.measure_benchmarks {
+            for (g, placement) in spec.grades.iter().zip(&placements) {
+                if placement.benchmark_devices.is_empty() {
+                    continue;
+                }
+                let profile = PhoneProfile::for_grade(g.grade);
+                let (durations, gaps) = benchmark_windows(&rounds, &profile);
+                for &(_dev, phone) in &placement.benchmark_devices {
+                    let plan = simdc_phone::RunPlan::new(spec.id, phone, start, &durations, &gaps)?;
+                    finished_at = finished_at.max(plan.end());
+                    phones.submit_run(phone, plan)?;
+                    benchmark_reports.push(phones.measure_run(phone)?);
+                }
+            }
+        }
+
+        Ok(TaskReport {
+            task: spec.id,
+            started_at: start,
+            finished_at,
+            rounds,
+            allocation,
+            final_model: global,
+            benchmark_reports,
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn train_device(
+        &self,
+        spec: &TaskSpec,
+        dataset: &CtrDataset,
+        trainer: &LocalTrainer,
+        global: &LrModel,
+        storage: &mut Storage,
+        device: DeviceId,
+        round: RoundId,
+        kernel: KernelKind,
+        at: SimInstant,
+        message_seq: &mut u64,
+    ) -> Message {
+        let shard = &dataset.devices[(device.0 % dataset.devices.len() as u64) as usize];
+        let update = trainer.train(global, &shard.data, kernel);
+        let key = StorageKey::for_update(spec.id, round, device);
+        storage.put(key.clone(), encode_update(&update));
+        let id = MessageId(*message_seq);
+        *message_seq += 1;
+        Message::model_update(id, spec.id, device, round, update.n_samples, key, at)
+    }
+}
+
+/// Advances the DeviceFlow harness through one round and determines the
+/// aggregation instant *without running the virtual clock past it* — the
+/// invariant that lets the next round start exactly at aggregation.
+///
+/// Returns `(included messages, aggregated_at, trigger_fired)`.
+#[allow(clippy::too_many_arguments)]
+fn run_flow_round(
+    h: &mut FlowHarness,
+    spec: &TaskSpec,
+    round: RoundId,
+    emissions: &[(SimInstant, Message)],
+    round_start: SimInstant,
+    compute_finished: SimInstant,
+    deadline: SimInstant,
+    delivered_seen: &mut usize,
+) -> (Vec<Message>, SimInstant, bool) {
+    use crate::cloud::AggregationTrigger;
+
+    h.run_until(round_start);
+    h.round_started(spec.id, round);
+    for (at, m) in emissions {
+        h.ingest_at(*at, m.clone());
+    }
+    h.round_completed_at(compute_finished.max(round_start), spec.id, round);
+
+    // Collects this round's freshly delivered messages past the cursor.
+    let collect = |h: &FlowHarness, seen: &mut usize, sink: &mut Vec<Message>| {
+        for batch in &h.delivered()[*seen..] {
+            sink.extend(batch.messages.iter().filter(|m| m.round == round).cloned());
+        }
+        *seen = h.delivered().len();
+    };
+
+    let mut included = Vec::new();
+    match spec.trigger {
+        AggregationTrigger::Scheduled { period } => {
+            let agg_at = (round_start + period).min(deadline);
+            h.run_until(agg_at);
+            collect(h, delivered_seen, &mut included);
+            (included, agg_at, true)
+        }
+        AggregationTrigger::SampleThreshold { min_samples } => {
+            let mut samples = 0u64;
+            let fired = step_until(
+                h,
+                deadline,
+                |batch_msgs| {
+                    for m in batch_msgs {
+                        included.push(m.clone());
+                        samples += m.sample_count;
+                    }
+                    samples >= min_samples
+                },
+                round,
+                delivered_seen,
+            );
+            let agg_at = if fired {
+                h.now()
+            } else {
+                h.run_until(deadline);
+                deadline
+            };
+            (included, agg_at, fired)
+        }
+        AggregationTrigger::DeviceThreshold { min_devices } => {
+            let mut devices: Vec<simdc_types::DeviceId> = Vec::new();
+            let fired = step_until(
+                h,
+                deadline,
+                |batch_msgs| {
+                    for m in batch_msgs {
+                        if !devices.contains(&m.device) {
+                            devices.push(m.device);
+                        }
+                        included.push(m.clone());
+                    }
+                    devices.len() as u64 >= min_devices
+                },
+                round,
+                delivered_seen,
+            );
+            let agg_at = if fired {
+                h.now()
+            } else {
+                h.run_until(deadline);
+                deadline
+            };
+            (included, agg_at, fired)
+        }
+    }
+}
+
+/// Steps the harness event by event (never past `deadline`), feeding each
+/// newly delivered batch of this round's messages to `on_batch`; stops and
+/// returns `true` the moment `on_batch` reports the trigger satisfied.
+fn step_until(
+    h: &mut FlowHarness,
+    deadline: SimInstant,
+    mut on_batch: impl FnMut(&[Message]) -> bool,
+    round: RoundId,
+    delivered_seen: &mut usize,
+) -> bool {
+    loop {
+        match h.next_event_at() {
+            Some(t) if t <= deadline => {
+                h.step();
+            }
+            _ => return false,
+        }
+        while *delivered_seen < h.delivered().len() {
+            let batch = &h.delivered()[*delivered_seen];
+            *delivered_seen += 1;
+            let msgs: Vec<Message> = batch
+                .messages
+                .iter()
+                .filter(|m| m.round == round)
+                .cloned()
+                .collect();
+            if on_batch(&msgs) {
+                return true;
+            }
+        }
+    }
+}
+
+/// Derives the benchmark phones' training windows and waiting gaps from the
+/// executed round timeline.
+fn benchmark_windows(
+    rounds: &[RoundReport],
+    profile: &PhoneProfile,
+) -> (Vec<SimDuration>, Vec<SimDuration>) {
+    let beta = profile.beta();
+    let durations = vec![beta; rounds.len()];
+    let mut gaps = Vec::with_capacity(rounds.len().saturating_sub(1));
+    // Floor between rounds: aggregation + global-model redistribution is
+    // never instantaneous, and a nonzero gap keeps the Table-I stage
+    // aggregation from merging adjacent training rounds.
+    let gap_floor = SimDuration::from_secs(2);
+    for pair in rounds.windows(2) {
+        let startup = if pair[0].round == RoundId::FIRST {
+            profile.lambda()
+        } else {
+            SimDuration::ZERO
+        };
+        let train_end = pair[0].started_at + startup + beta;
+        gaps.push(
+            pair[1]
+                .started_at
+                .saturating_duration_since(train_end)
+                .max(gap_floor),
+        );
+    }
+    (durations, gaps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cloud::AggregationTrigger;
+    use crate::spec::GradeRequirement;
+    use simdc_cluster::ClusterConfig;
+    use simdc_data::GeneratorConfig;
+    use simdc_deviceflow::DispatchStrategy;
+    use simdc_types::DeviceGrade;
+
+    fn dataset() -> CtrDataset {
+        CtrDataset::generate(&GeneratorConfig {
+            n_devices: 40,
+            n_test_devices: 8,
+            mean_records_per_device: 20.0,
+            feature_dim: 1 << 12,
+            seed: 33,
+            ..GeneratorConfig::default()
+        })
+    }
+
+    fn substrates() -> (LogicalCluster, PhoneMgr, Storage) {
+        (
+            LogicalCluster::new(ClusterConfig::default()),
+            PhoneMgr::paper_default(99),
+            Storage::new(),
+        )
+    }
+
+    fn base_spec(id: u64) -> TaskSpec {
+        TaskSpec::builder(TaskId(id))
+            .rounds(3)
+            .grade(GradeRequirement {
+                grade: DeviceGrade::High,
+                total_devices: 20,
+                benchmark_phones: 2,
+                logical_unit_bundles: 40,
+                units_per_device: 8,
+                phones: 6,
+            })
+            .trigger(AggregationTrigger::DeviceThreshold { min_devices: 20 })
+            .seed(5)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn end_to_end_task_improves_accuracy() {
+        let data = dataset();
+        let (mut cluster, mut phones, mut storage) = substrates();
+        let runner = TaskRunner::default();
+        let report = runner
+            .execute(
+                &base_spec(1),
+                &data,
+                &mut cluster,
+                &mut phones,
+                &mut storage,
+                SimInstant::EPOCH,
+            )
+            .unwrap();
+        assert_eq!(report.rounds.len(), 3);
+        // Every round included every device.
+        for r in &report.rounds {
+            assert_eq!(r.included_updates, 20);
+            assert!(r.trigger_fired);
+        }
+        // Loss decreases across rounds; accuracy is meaningful.
+        let first = &report.rounds[0];
+        let last = report.rounds.last().unwrap();
+        assert!(last.train_loss < first.train_loss);
+        assert!(last.eval.accuracy > 0.5, "acc {}", last.eval.accuracy);
+        // Timeline is monotone.
+        for pair in report.rounds.windows(2) {
+            assert!(pair[1].started_at == pair[0].aggregated_at);
+            assert!(pair[0].aggregated_at >= pair[0].started_at);
+        }
+        // Benchmark phones produced measurement reports.
+        assert_eq!(report.benchmark_reports.len(), 2);
+        assert!(report.finished_at >= report.rounds.last().unwrap().aggregated_at);
+    }
+
+    #[test]
+    fn execution_is_deterministic() {
+        let data = dataset();
+        let runner = TaskRunner::default();
+        let run = || {
+            let (mut cluster, mut phones, mut storage) = substrates();
+            runner
+                .execute(
+                    &base_spec(1),
+                    &data,
+                    &mut cluster,
+                    &mut phones,
+                    &mut storage,
+                    SimInstant::EPOCH,
+                )
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.final_model, b.final_model);
+    }
+
+    #[test]
+    fn fixed_allocations_respect_fraction() {
+        let data = dataset();
+        let (mut cluster, mut phones, mut storage) = substrates();
+        let mut spec = base_spec(2);
+        spec.allocation = AllocationPolicy::FixedLogicalFraction(0.0);
+        spec.rounds = 1;
+        let runner = TaskRunner::new(RunnerConfig {
+            measure_benchmarks: false,
+            ..RunnerConfig::default()
+        });
+        let report = runner
+            .execute(
+                &spec,
+                &data,
+                &mut cluster,
+                &mut phones,
+                &mut storage,
+                SimInstant::EPOCH,
+            )
+            .unwrap();
+        assert_eq!(report.allocation.grades[0].logical_devices, 0);
+
+        let mut spec = base_spec(3);
+        spec.allocation = AllocationPolicy::FixedLogicalFraction(1.0);
+        spec.rounds = 1;
+        let report = runner
+            .execute(
+                &spec,
+                &data,
+                &mut cluster,
+                &mut phones,
+                &mut storage,
+                SimInstant::EPOCH,
+            )
+            .unwrap();
+        assert_eq!(report.allocation.grades[0].phone_devices, 0);
+    }
+
+    #[test]
+    fn deviceflow_dropout_reduces_included_updates() {
+        let data = dataset();
+        let (mut cluster, mut phones, mut storage) = substrates();
+        let mut spec = base_spec(4);
+        spec.strategy = Some(DispatchStrategy::RealTimeAccumulated {
+            thresholds: vec![1],
+            failure_prob: 0.6,
+        });
+        spec.trigger = AggregationTrigger::Scheduled {
+            period: SimDuration::from_mins(10),
+        };
+        spec.rounds = 2;
+        let runner = TaskRunner::new(RunnerConfig {
+            measure_benchmarks: false,
+            ..RunnerConfig::default()
+        });
+        let report = runner
+            .execute(
+                &spec,
+                &data,
+                &mut cluster,
+                &mut phones,
+                &mut storage,
+                SimInstant::EPOCH,
+            )
+            .unwrap();
+        for r in &report.rounds {
+            assert!(r.dropped_messages > 0, "{r:?}");
+            assert!(r.included_updates < 20);
+            assert!(r.included_updates + r.dropped_messages + r.stragglers >= 18);
+        }
+    }
+
+    #[test]
+    fn scheduled_trigger_drops_stragglers() {
+        let data = dataset();
+        let (mut cluster, mut phones, mut storage) = substrates();
+        let mut spec = base_spec(5);
+        // Aggregate well before the phones' λ + β ≈ 46 s completion.
+        spec.trigger = AggregationTrigger::Scheduled {
+            period: SimDuration::from_secs(40),
+        };
+        spec.rounds = 1;
+        let runner = TaskRunner::new(RunnerConfig {
+            measure_benchmarks: false,
+            ..RunnerConfig::default()
+        });
+        let report = runner
+            .execute(
+                &spec,
+                &data,
+                &mut cluster,
+                &mut phones,
+                &mut storage,
+                SimInstant::EPOCH,
+            )
+            .unwrap();
+        let r = &report.rounds[0];
+        assert!(r.stragglers > 0, "{r:?}");
+        assert_eq!(r.aggregated_at, r.started_at + SimDuration::from_secs(40));
+    }
+
+    #[test]
+    fn storage_is_cleaned_after_rounds() {
+        let data = dataset();
+        let (mut cluster, mut phones, mut storage) = substrates();
+        let runner = TaskRunner::new(RunnerConfig {
+            measure_benchmarks: false,
+            ..RunnerConfig::default()
+        });
+        runner
+            .execute(
+                &base_spec(6),
+                &data,
+                &mut cluster,
+                &mut phones,
+                &mut storage,
+                SimInstant::EPOCH,
+            )
+            .unwrap();
+        // Only the published global models remain (one per round).
+        assert_eq!(storage.len(), 3);
+    }
+}

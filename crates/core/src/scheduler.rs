@@ -1,0 +1,155 @@
+//! The greedy task scheduler (§III-B).
+//!
+//! Periodically scans the queue in `(priority desc, submission asc)` order
+//! and starts every pending task whose resource claim currently fits —
+//! "prioritizing tasks that meet resource requirements while maximizing
+//! the anticipated benefits".
+
+use simdc_types::{DeviceGrade, PerGrade, TaskId};
+
+use crate::queue::TaskQueue;
+use crate::resources::{ResourceClaim, ResourceManager};
+use crate::spec::TaskSpec;
+
+/// Derives a spec's resource claim: all requested unit bundles plus the
+/// compute and benchmarking phones of every grade.
+#[must_use]
+pub fn claim_for(spec: &TaskSpec) -> ResourceClaim {
+    let mut phones = PerGrade::new(0u64);
+    let mut bundles = 0u64;
+    for g in &spec.grades {
+        bundles += g.logical_unit_bundles;
+        *phones.get_mut(g.grade) += g.phones + g.benchmark_phones;
+    }
+    ResourceClaim {
+        unit_bundles: bundles,
+        phones,
+    }
+}
+
+/// The greedy scheduler.
+#[derive(Debug, Default)]
+pub struct GreedyScheduler;
+
+impl GreedyScheduler {
+    /// Creates a scheduler.
+    #[must_use]
+    pub fn new() -> Self {
+        GreedyScheduler
+    }
+
+    /// Picks the pending tasks to start now, freezing their claims in
+    /// priority order. Tasks that do not fit are skipped (a later, smaller
+    /// task may still be admitted — classic greedy backfilling).
+    pub fn schedule(&self, queue: &TaskQueue, rm: &mut ResourceManager) -> Vec<TaskId> {
+        let mut started = Vec::new();
+        for id in queue.pending_by_priority() {
+            let Some(record) = queue.get(id) else {
+                continue;
+            };
+            let claim = claim_for(&record.spec);
+            if rm.freeze(id, claim).is_ok() {
+                started.push(id);
+            }
+        }
+        started
+    }
+
+    /// Whether a spec could *ever* run on the given total capacity
+    /// (ignoring current leases) — used to fail impossible tasks instead of
+    /// starving them.
+    #[must_use]
+    pub fn feasible_at_all(
+        &self,
+        spec: &TaskSpec,
+        total_bundles: u64,
+        total_phones: PerGrade<u64>,
+    ) -> bool {
+        let claim = claim_for(spec);
+        claim.unit_bundles <= total_bundles
+            && DeviceGrade::ALL
+                .iter()
+                .all(|&g| *claim.phones.get(g) <= *total_phones.get(g))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::GradeRequirement;
+    use simdc_types::DeviceGrade;
+
+    fn spec(id: u64, priority: u32, bundles: u64, phones: u64) -> TaskSpec {
+        TaskSpec::builder(TaskId(id))
+            .priority(priority)
+            .grade(GradeRequirement {
+                grade: DeviceGrade::High,
+                total_devices: 10,
+                benchmark_phones: 0,
+                logical_unit_bundles: bundles,
+                units_per_device: 1,
+                phones,
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn claim_sums_across_grades() {
+        let mut b = TaskSpec::builder(TaskId(1));
+        b.grade(GradeRequirement {
+            grade: DeviceGrade::High,
+            total_devices: 10,
+            benchmark_phones: 2,
+            logical_unit_bundles: 40,
+            units_per_device: 8,
+            phones: 3,
+        })
+        .grade(GradeRequirement {
+            grade: DeviceGrade::Low,
+            total_devices: 10,
+            benchmark_phones: 1,
+            logical_unit_bundles: 10,
+            units_per_device: 1,
+            phones: 4,
+        });
+        let claim = claim_for(&b.build().unwrap());
+        assert_eq!(claim.unit_bundles, 50);
+        assert_eq!(claim.phones, PerGrade::from_parts(5, 5));
+    }
+
+    #[test]
+    fn priority_wins_then_backfill() {
+        let mut queue = TaskQueue::new();
+        // 100-bundle capacity: the 80-bundle high-priority task starts, the
+        // 50-bundle task does not fit, the 20-bundle task backfills.
+        queue.submit(spec(1, 1, 50, 0)).unwrap();
+        queue.submit(spec(2, 9, 80, 0)).unwrap();
+        queue.submit(spec(3, 0, 20, 0)).unwrap();
+        let mut rm = ResourceManager::new(100, PerGrade::new(10));
+        let started = GreedyScheduler::new().schedule(&queue, &mut rm);
+        assert_eq!(started, vec![TaskId(2), TaskId(3)]);
+        assert_eq!(rm.free_bundles(), 0);
+    }
+
+    #[test]
+    fn phone_shortage_blocks_admission() {
+        let mut queue = TaskQueue::new();
+        queue.submit(spec(1, 5, 10, 8)).unwrap();
+        queue.submit(spec(2, 4, 10, 8)).unwrap();
+        let mut rm = ResourceManager::new(100, PerGrade::from_parts(10, 0));
+        let started = GreedyScheduler::new().schedule(&queue, &mut rm);
+        assert_eq!(started, vec![TaskId(1)]);
+        assert_eq!(rm.free_phones(DeviceGrade::High), 2);
+    }
+
+    #[test]
+    fn feasibility_check_uses_total_capacity() {
+        let s = GreedyScheduler::new();
+        let big = spec(1, 0, 500, 0);
+        assert!(!s.feasible_at_all(&big, 200, PerGrade::new(10)));
+        assert!(s.feasible_at_all(&big, 500, PerGrade::new(0)));
+        let phone_heavy = spec(2, 0, 10, 50);
+        assert!(!s.feasible_at_all(&phone_heavy, 200, PerGrade::from_parts(10, 10)));
+    }
+}

@@ -1,0 +1,332 @@
+//! Re-partitioning generated data across devices.
+//!
+//! The generator's *natural* partition (one shard per device, heterogeneous
+//! CTR) is already non-IID. The functions here construct the other
+//! distributions the paper's experiments need:
+//!
+//! * [`iid_partition`] — pool every example and deal them out uniformly
+//!   (Fig 11(a), "identically distributed").
+//! * [`label_skew_partition`] — a fraction of devices gets mostly positive
+//!   examples and the rest mostly negative (Fig 11(b), "differentially
+//!   distributed": 70% / 30% in the paper).
+//! * [`ctr_correlated_delays`] — per-device upload delays where higher-CTR
+//!   devices respond faster, shaped as a right-tailed normal `|N(0, σ)|`
+//!   (the Fig 9 scenario).
+
+use serde::{Deserialize, Serialize};
+use simdc_simrt::RngStream;
+use simdc_types::{DeviceId, SimDuration};
+
+use crate::dataset::{Dataset, DeviceDataset, Example};
+
+/// Pools all examples and deals them uniformly onto `n_shards` devices.
+///
+/// Every input example lands on exactly one shard; shard sizes differ by at
+/// most one.
+///
+/// # Panics
+///
+/// Panics if `n_shards` is zero.
+#[must_use]
+pub fn iid_partition(
+    devices: &[DeviceDataset],
+    n_shards: usize,
+    rng: &mut RngStream,
+) -> Vec<DeviceDataset> {
+    assert!(n_shards > 0, "need at least one shard");
+    let mut pool: Vec<Example> = devices
+        .iter()
+        .flat_map(|d| d.data.iter().cloned())
+        .collect();
+    rng.shuffle(&mut pool);
+    let global_rate = {
+        let pos = pool.iter().filter(|e| e.label).count();
+        if pool.is_empty() {
+            0.0
+        } else {
+            pos as f64 / pool.len() as f64
+        }
+    };
+    let mut shards: Vec<Dataset> = vec![Dataset::new(); n_shards];
+    for (i, example) in pool.into_iter().enumerate() {
+        shards[i % n_shards].push(example);
+    }
+    shards
+        .into_iter()
+        .enumerate()
+        .map(|(i, data)| DeviceDataset::new(DeviceId(i as u64), global_rate, data))
+        .collect()
+}
+
+/// Configuration for [`label_skew_partition`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LabelSkewConfig {
+    /// Fraction of shards that are positive-heavy (paper: 0.7).
+    pub positive_heavy_fraction: f64,
+    /// Target positive rate on positive-heavy shards (e.g. 0.7).
+    pub heavy_positive_rate: f64,
+    /// Target positive rate on negative-heavy shards (e.g. 0.1).
+    pub light_positive_rate: f64,
+}
+
+impl Default for LabelSkewConfig {
+    fn default() -> Self {
+        LabelSkewConfig {
+            positive_heavy_fraction: 0.7,
+            heavy_positive_rate: 0.7,
+            light_positive_rate: 0.1,
+        }
+    }
+}
+
+impl LabelSkewConfig {
+    /// Validates all rates are probabilities.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidConfig` if any field is outside `[0, 1]`.
+    pub fn validate(&self) -> simdc_types::Result<()> {
+        for (name, v) in [
+            ("positive_heavy_fraction", self.positive_heavy_fraction),
+            ("heavy_positive_rate", self.heavy_positive_rate),
+            ("light_positive_rate", self.light_positive_rate),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(simdc_types::SimdcError::InvalidConfig(format!(
+                    "{name} must be in [0, 1], got {v}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Redistributes examples so shard label marginals follow `config`.
+///
+/// Examples are split into positive and negative pools; each shard draws
+/// from the pools at its target ratio until the pools run dry (trailing
+/// shards absorb whatever remains, so **every example is preserved**).
+///
+/// # Panics
+///
+/// Panics if `n_shards` is zero or `config` is invalid.
+#[must_use]
+pub fn label_skew_partition(
+    devices: &[DeviceDataset],
+    n_shards: usize,
+    config: &LabelSkewConfig,
+    rng: &mut RngStream,
+) -> Vec<DeviceDataset> {
+    assert!(n_shards > 0, "need at least one shard");
+    config.validate().expect("invalid label-skew configuration");
+
+    let mut positives = Vec::new();
+    let mut negatives = Vec::new();
+    for d in devices {
+        for e in d.data.iter() {
+            if e.label {
+                positives.push(e.clone());
+            } else {
+                negatives.push(e.clone());
+            }
+        }
+    }
+    rng.shuffle(&mut positives);
+    rng.shuffle(&mut negatives);
+    let total = positives.len() + negatives.len();
+    let per_shard_base = total / n_shards;
+    let remainder = total % n_shards;
+
+    let n_heavy = ((n_shards as f64) * config.positive_heavy_fraction).round() as usize;
+    let mut shards = Vec::with_capacity(n_shards);
+    for i in 0..n_shards {
+        let shard_size = per_shard_base + usize::from(i < remainder);
+        let target_rate = if i < n_heavy {
+            config.heavy_positive_rate
+        } else {
+            config.light_positive_rate
+        };
+        let mut data = Dataset::new();
+        for _ in 0..shard_size {
+            let want_positive = rng.chance(target_rate);
+            let example = if want_positive {
+                positives.pop().or_else(|| negatives.pop())
+            } else {
+                negatives.pop().or_else(|| positives.pop())
+            };
+            match example {
+                Some(e) => data.push(e),
+                None => break,
+            }
+        }
+        let rate = data.positive_rate();
+        shards.push(DeviceDataset::new(DeviceId(i as u64), rate, data));
+    }
+    // Pools can be non-empty only if rounding starved the last shards; give
+    // leftovers to the final shard so no example is dropped.
+    if let Some(last) = shards.last_mut() {
+        last.data.extend(positives);
+        last.data.extend(negatives);
+    }
+    shards
+}
+
+/// Assigns per-device upload delays such that **higher-CTR devices respond
+/// faster**, with the delay population shaped as the right tail of
+/// `N(0, σ)` scaled by `scale` (Fig 9's "clients with higher CTR transmit
+/// data faster" scenario).
+///
+/// Returns `(device, delay)` pairs in the input order of `devices`.
+///
+/// # Panics
+///
+/// Panics if `sigma` is not positive.
+#[must_use]
+pub fn ctr_correlated_delays(
+    devices: &[DeviceDataset],
+    sigma: f64,
+    scale: SimDuration,
+    rng: &mut RngStream,
+) -> Vec<(DeviceId, SimDuration)> {
+    assert!(sigma > 0.0, "sigma must be positive");
+    // Sample |N(0, σ)| delays, sort ascending, and hand the shortest delays
+    // to the highest-CTR devices.
+    let mut delays: Vec<f64> = (0..devices.len())
+        .map(|_| rng.normal(0.0, sigma).abs())
+        .collect();
+    delays.sort_by(|a, b| a.partial_cmp(b).expect("normal draws are finite"));
+
+    let mut order: Vec<usize> = (0..devices.len()).collect();
+    order.sort_by(|&a, &b| {
+        devices[b]
+            .ctr
+            .partial_cmp(&devices[a].ctr)
+            .expect("ctr is finite")
+    });
+
+    let mut result = vec![(DeviceId(0), SimDuration::ZERO); devices.len()];
+    for (rank, &dev_idx) in order.iter().enumerate() {
+        result[dev_idx] = (devices[dev_idx].device, scale.mul_f64(delays[rank]));
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{CtrDataset, GeneratorConfig};
+
+    fn data() -> CtrDataset {
+        CtrDataset::generate(&GeneratorConfig {
+            n_devices: 60,
+            n_test_devices: 5,
+            mean_records_per_device: 30.0,
+            feature_dim: 1 << 12,
+            seed: 21,
+            ..GeneratorConfig::default()
+        })
+    }
+
+    #[test]
+    fn iid_preserves_every_example() {
+        let d = data();
+        let total: usize = d.devices.iter().map(|x| x.len()).sum();
+        let mut rng = RngStream::from_seed(1);
+        let shards = iid_partition(&d.devices, 7, &mut rng);
+        assert_eq!(shards.len(), 7);
+        assert_eq!(shards.iter().map(|s| s.len()).sum::<usize>(), total);
+        let sizes: Vec<usize> = shards.iter().map(|s| s.len()).collect();
+        let (min, max) = (*sizes.iter().min().unwrap(), *sizes.iter().max().unwrap());
+        assert!(max - min <= 1, "shard sizes should be balanced: {sizes:?}");
+    }
+
+    #[test]
+    fn iid_shards_have_similar_rates() {
+        let d = data();
+        let mut rng = RngStream::from_seed(2);
+        let shards = iid_partition(&d.devices, 4, &mut rng);
+        let global = d.positive_rate();
+        for s in &shards {
+            assert!(
+                (s.data.positive_rate() - global).abs() < 0.08,
+                "shard rate {} vs global {global}",
+                s.data.positive_rate()
+            );
+        }
+    }
+
+    #[test]
+    fn label_skew_preserves_examples_and_skews_rates() {
+        let d = data();
+        let total: usize = d.devices.iter().map(|x| x.len()).sum();
+        let mut rng = RngStream::from_seed(3);
+        let cfg = LabelSkewConfig::default();
+        let shards = label_skew_partition(&d.devices, 10, &cfg, &mut rng);
+        assert_eq!(shards.iter().map(|s| s.len()).sum::<usize>(), total);
+        // The first 7 shards should be markedly more positive than the last 3
+        // (pools may run out of positives, so compare relatively).
+        let heavy_mean: f64 = shards[..7]
+            .iter()
+            .map(|s| s.data.positive_rate())
+            .sum::<f64>()
+            / 7.0;
+        let light_mean: f64 = shards[7..]
+            .iter()
+            .map(|s| s.data.positive_rate())
+            .sum::<f64>()
+            / 3.0;
+        assert!(
+            heavy_mean > light_mean + 0.1,
+            "heavy {heavy_mean} vs light {light_mean}"
+        );
+    }
+
+    #[test]
+    fn label_skew_validation() {
+        let bad = LabelSkewConfig {
+            heavy_positive_rate: 1.5,
+            ..LabelSkewConfig::default()
+        };
+        assert!(bad.validate().is_err());
+        assert!(LabelSkewConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn ctr_delays_are_anticorrelated_with_ctr() {
+        let d = data();
+        let mut rng = RngStream::from_seed(4);
+        let delays = ctr_correlated_delays(&d.devices, 1.0, SimDuration::from_secs(60), &mut rng);
+        assert_eq!(delays.len(), d.devices.len());
+        // Highest-CTR device must have the minimum delay.
+        let best = d
+            .devices
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.ctr.partial_cmp(&b.1.ctr).unwrap())
+            .unwrap()
+            .0;
+        let min_delay = delays.iter().map(|&(_, d)| d).min().unwrap();
+        assert_eq!(delays[best].1, min_delay);
+        // And order agrees: delay ranks reverse CTR ranks.
+        for i in 0..d.devices.len() {
+            for j in 0..d.devices.len() {
+                if d.devices[i].ctr > d.devices[j].ctr {
+                    assert!(delays[i].1 <= delays[j].1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn larger_sigma_spreads_delays() {
+        let d = data();
+        let mut rng1 = RngStream::from_seed(5);
+        let mut rng2 = RngStream::from_seed(5);
+        let tight = ctr_correlated_delays(&d.devices, 1.0, SimDuration::from_secs(60), &mut rng1);
+        let wide = ctr_correlated_delays(&d.devices, 3.0, SimDuration::from_secs(60), &mut rng2);
+        let mean = |v: &[(DeviceId, SimDuration)]| {
+            v.iter().map(|&(_, d)| d.as_secs_f64()).sum::<f64>() / v.len() as f64
+        };
+        assert!(mean(&wide) > mean(&tight) * 2.0);
+    }
+}

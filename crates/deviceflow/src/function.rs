@@ -1,0 +1,314 @@
+//! User-definable transmission-rate functions `y = f(t)`.
+//!
+//! §V-B requires rate functions to be *single-valued, bounded, non-negative
+//! and (piecewise) continuous*. The built-in shapes cover everything the
+//! paper evaluates (Table II: `N(0,1)`, `N(0,2)`, `sin(t)+1`, `cos(t)+1`,
+//! `2^t`, `10^t`) plus a piecewise-linear escape hatch for arbitrary
+//! user-drawn curves.
+
+use serde::{Deserialize, Serialize};
+use simdc_types::{Result, SimdcError};
+
+/// A closed time domain `[start, end]` in function-space units (the domain
+/// is later scaled onto the actual dispatch interval, §V-B).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Domain {
+    /// Inclusive lower end.
+    pub start: f64,
+    /// Inclusive upper end.
+    pub end: f64,
+}
+
+impl Domain {
+    /// Creates a domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidStrategy` if the bounds are not finite or
+    /// `start >= end`.
+    pub fn new(start: f64, end: f64) -> Result<Self> {
+        if !start.is_finite() || !end.is_finite() || start >= end {
+            return Err(SimdcError::InvalidStrategy(format!(
+                "domain must be a finite non-empty interval, got [{start}, {end}]"
+            )));
+        }
+        Ok(Domain { start, end })
+    }
+
+    /// Domain width.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.end - self.start
+    }
+
+    /// Linear interpolation: maps `frac ∈ [0,1]` onto the domain.
+    #[must_use]
+    pub fn lerp(&self, frac: f64) -> f64 {
+        self.start + self.width() * frac
+    }
+}
+
+/// A transmission-rate curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TrafficFunction {
+    /// The `N(0, σ)` probability density. Restricted to a non-negative
+    /// domain this is the paper's "right-tailed normal distribution".
+    Normal {
+        /// Standard deviation σ > 0.
+        sigma: f64,
+    },
+    /// `sin(t) + 1`.
+    SinPlus1,
+    /// `cos(t) + 1`.
+    CosPlus1,
+    /// `2^t`.
+    Exp2,
+    /// `10^t`.
+    Exp10,
+    /// A constant non-negative rate.
+    Constant(f64),
+    /// Piecewise-linear interpolation through `(t, y)` knots (the escape
+    /// hatch for user-drawn curves; knots must be strictly increasing in
+    /// `t` and non-negative in `y`).
+    PiecewiseLinear {
+        /// The interpolation knots.
+        points: Vec<(f64, f64)>,
+    },
+}
+
+impl TrafficFunction {
+    /// The right-tailed normal scenario of Fig 9/10: `N(0, σ)` on
+    /// `[0, 4σ]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is not positive and finite.
+    #[must_use]
+    pub fn right_tailed_normal(sigma: f64) -> (TrafficFunction, Domain) {
+        assert!(sigma > 0.0 && sigma.is_finite(), "sigma must be positive");
+        (
+            TrafficFunction::Normal { sigma },
+            Domain {
+                start: 0.0,
+                end: 4.0 * sigma,
+            },
+        )
+    }
+
+    /// Evaluates the function at `t`.
+    #[must_use]
+    pub fn eval(&self, t: f64) -> f64 {
+        match self {
+            TrafficFunction::Normal { sigma } => {
+                let z = t / sigma;
+                (-0.5 * z * z).exp() / (sigma * (2.0 * std::f64::consts::PI).sqrt())
+            }
+            TrafficFunction::SinPlus1 => t.sin() + 1.0,
+            TrafficFunction::CosPlus1 => t.cos() + 1.0,
+            TrafficFunction::Exp2 => 2f64.powf(t),
+            TrafficFunction::Exp10 => 10f64.powf(t),
+            TrafficFunction::Constant(c) => *c,
+            TrafficFunction::PiecewiseLinear { points } => piecewise_eval(points, t),
+        }
+    }
+
+    /// Checks the §V-B contract on `domain`: parameters in range, and the
+    /// curve finite, non-negative and bounded across a dense sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimdcError::InvalidStrategy`] with the violated constraint.
+    pub fn validate_on(&self, domain: &Domain) -> Result<()> {
+        use SimdcError::InvalidStrategy;
+        match self {
+            TrafficFunction::Normal { sigma } if !(sigma.is_finite() && *sigma > 0.0) => {
+                return Err(InvalidStrategy(format!(
+                    "normal sigma must be positive, got {sigma}"
+                )));
+            }
+            TrafficFunction::Constant(c) if !(c.is_finite() && *c >= 0.0) => {
+                return Err(InvalidStrategy(format!(
+                    "constant rate must be non-negative, got {c}"
+                )));
+            }
+            TrafficFunction::PiecewiseLinear { points } => {
+                if points.len() < 2 {
+                    return Err(InvalidStrategy(
+                        "piecewise-linear curve needs at least two knots".into(),
+                    ));
+                }
+                for pair in points.windows(2) {
+                    if pair[0].0 >= pair[1].0 {
+                        return Err(InvalidStrategy(
+                            "piecewise-linear knots must be strictly increasing in t".into(),
+                        ));
+                    }
+                }
+                if points
+                    .iter()
+                    .any(|&(t, y)| !t.is_finite() || !y.is_finite() || y < 0.0)
+                {
+                    return Err(InvalidStrategy(
+                        "piecewise-linear knots must be finite and non-negative".into(),
+                    ));
+                }
+            }
+            _ => {}
+        }
+        // Dense sampling check (covers all variants uniformly).
+        const SAMPLES: usize = 512;
+        for i in 0..=SAMPLES {
+            let t = domain.lerp(i as f64 / SAMPLES as f64);
+            let y = self.eval(t);
+            if !y.is_finite() {
+                return Err(InvalidStrategy(format!(
+                    "rate function is not finite at t = {t}"
+                )));
+            }
+            if y < 0.0 {
+                return Err(InvalidStrategy(format!(
+                    "rate function is negative at t = {t} (y = {y})"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn piecewise_eval(points: &[(f64, f64)], t: f64) -> f64 {
+    match points {
+        [] => 0.0,
+        [(_, y)] => *y,
+        _ => {
+            let first = points.first().expect("non-empty");
+            let last = points.last().expect("non-empty");
+            if t <= first.0 {
+                return first.1;
+            }
+            if t >= last.0 {
+                return last.1;
+            }
+            for pair in points.windows(2) {
+                let (t0, y0) = pair[0];
+                let (t1, y1) = pair[1];
+                if t >= t0 && t <= t1 {
+                    let frac = if t1 > t0 { (t - t0) / (t1 - t0) } else { 0.0 };
+                    return y0 + frac * (y1 - y0);
+                }
+            }
+            last.1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_validation() {
+        assert!(Domain::new(0.0, 1.0).is_ok());
+        assert!(Domain::new(1.0, 1.0).is_err());
+        assert!(Domain::new(2.0, 1.0).is_err());
+        assert!(Domain::new(f64::NAN, 1.0).is_err());
+        assert!(Domain::new(0.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn domain_lerp() {
+        let d = Domain::new(-4.0, 4.0).unwrap();
+        assert_eq!(d.lerp(0.0), -4.0);
+        assert_eq!(d.lerp(0.5), 0.0);
+        assert_eq!(d.lerp(1.0), 4.0);
+        assert_eq!(d.width(), 8.0);
+    }
+
+    #[test]
+    fn normal_pdf_values() {
+        let f = TrafficFunction::Normal { sigma: 1.0 };
+        assert!((f.eval(0.0) - 0.398_942).abs() < 1e-5);
+        assert!((f.eval(1.0) - 0.241_970).abs() < 1e-5);
+        // Symmetric.
+        assert_eq!(f.eval(-2.0), f.eval(2.0));
+        // Wider sigma → lower peak.
+        let wide = TrafficFunction::Normal { sigma: 2.0 };
+        assert!(wide.eval(0.0) < f.eval(0.0));
+    }
+
+    #[test]
+    fn trig_and_exp_curves() {
+        assert_eq!(TrafficFunction::SinPlus1.eval(0.0), 1.0);
+        assert!((TrafficFunction::SinPlus1.eval(std::f64::consts::FRAC_PI_2) - 2.0).abs() < 1e-12);
+        assert_eq!(TrafficFunction::CosPlus1.eval(0.0), 2.0);
+        assert_eq!(TrafficFunction::Exp2.eval(3.0), 8.0);
+        assert_eq!(TrafficFunction::Exp10.eval(2.0), 100.0);
+    }
+
+    #[test]
+    fn table2_functions_validate_on_their_domains() {
+        let six_pi = 6.0 * std::f64::consts::PI;
+        let cases: Vec<(TrafficFunction, Domain)> = vec![
+            (
+                TrafficFunction::Normal { sigma: 1.0 },
+                Domain::new(-4.0, 4.0).unwrap(),
+            ),
+            (
+                TrafficFunction::Normal { sigma: 2.0 },
+                Domain::new(-4.0, 4.0).unwrap(),
+            ),
+            (TrafficFunction::SinPlus1, Domain::new(0.0, six_pi).unwrap()),
+            (TrafficFunction::CosPlus1, Domain::new(0.0, six_pi).unwrap()),
+            (TrafficFunction::Exp2, Domain::new(0.0, 3.0).unwrap()),
+            (TrafficFunction::Exp10, Domain::new(0.0, 3.0).unwrap()),
+        ];
+        for (f, d) in cases {
+            assert!(f.validate_on(&d).is_ok(), "{f:?} on {d:?}");
+        }
+    }
+
+    #[test]
+    fn right_tailed_normal_helper() {
+        let (f, d) = TrafficFunction::right_tailed_normal(2.0);
+        assert_eq!(d.start, 0.0);
+        assert_eq!(d.end, 8.0);
+        assert!(f.validate_on(&d).is_ok());
+        // Monotone decreasing on the right tail.
+        assert!(f.eval(0.0) > f.eval(4.0));
+    }
+
+    #[test]
+    fn invalid_functions_rejected() {
+        let d = Domain::new(0.0, 1.0).unwrap();
+        assert!(TrafficFunction::Normal { sigma: 0.0 }
+            .validate_on(&d)
+            .is_err());
+        assert!(TrafficFunction::Constant(-1.0).validate_on(&d).is_err());
+        assert!(TrafficFunction::PiecewiseLinear {
+            points: vec![(0.0, 1.0)]
+        }
+        .validate_on(&d)
+        .is_err());
+        assert!(TrafficFunction::PiecewiseLinear {
+            points: vec![(0.0, 1.0), (0.0, 2.0)]
+        }
+        .validate_on(&d)
+        .is_err());
+        assert!(TrafficFunction::PiecewiseLinear {
+            points: vec![(0.0, 1.0), (1.0, -2.0)]
+        }
+        .validate_on(&d)
+        .is_err());
+    }
+
+    #[test]
+    fn piecewise_linear_interpolates_and_clamps() {
+        let f = TrafficFunction::PiecewiseLinear {
+            points: vec![(0.0, 0.0), (1.0, 10.0), (2.0, 4.0)],
+        };
+        assert_eq!(f.eval(0.5), 5.0);
+        assert_eq!(f.eval(1.5), 7.0);
+        assert_eq!(f.eval(-1.0), 0.0); // clamp left
+        assert_eq!(f.eval(5.0), 4.0); // clamp right
+        assert!(f.validate_on(&Domain::new(0.0, 2.0).unwrap()).is_ok());
+    }
+}

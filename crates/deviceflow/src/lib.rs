@@ -1,0 +1,66 @@
+//! DeviceFlow: the programmable device-behavior traffic controller (§V).
+//!
+//! Edge devices upload results to storage and notify the cloud with small
+//! messages; DeviceFlow sits between the two, buffering the messages and
+//! releasing them according to a user-defined strategy — replaying the
+//! request-traffic fluctuations and disconnections that large device fleets
+//! exhibit in the real world.
+//!
+//! Architecture (Fig 4): the [`Sorter`] routes incoming messages to a
+//! per-task [`Shelf`]; an independent per-task [`Dispatcher`] pulls pending
+//! messages from its shelf and forwards them downstream according to the
+//! task's [`DispatchStrategy`]:
+//!
+//! * **real-time accumulated** — flush after every `n` received messages
+//!   (cycling a user sequence), with a per-message transmission-failure
+//!   probability that simulates device dropouts;
+//! * **rule-based, time points** — send fixed amounts at user-set relative
+//!   or absolute times, capped by single-threaded transmission capacity
+//!   (overflow spills into subsequent seconds, as in Fig 10(a/b));
+//! * **rule-based, time interval** — a user-defined transmission-rate
+//!   function `y = f(t)` (single-valued, bounded, non-negative, piecewise
+//!   continuous) is discretized by area-under-curve ratios into a
+//!   time-point plan (Fig 10(c/d), Table II).
+//!
+//! # Examples
+//!
+//! ```
+//! use simdc_deviceflow::{DeviceFlow, DispatchStrategy, FlowHarness};
+//! use simdc_simrt::RngStream;
+//! use simdc_types::TaskId;
+//!
+//! let mut flow = DeviceFlow::new();
+//! flow.register_task(
+//!     TaskId(1),
+//!     DispatchStrategy::RealTimeAccumulated {
+//!         thresholds: vec![20, 100, 50],
+//!         failure_prob: 0.0,
+//!     },
+//! )
+//! .unwrap();
+//! let harness = FlowHarness::new(flow, RngStream::from_seed(7));
+//! // …ingest messages, run, inspect harness.delivered()…
+//! # let _ = harness;
+//! ```
+
+pub mod controller;
+pub mod discretize;
+pub mod dispatcher;
+pub mod function;
+pub mod harness;
+pub mod shelf;
+pub mod sorter;
+pub mod strategy;
+
+pub use controller::{DeliveredBatch, DeviceFlow, FlowEvent, FlowStats};
+pub use discretize::{discretize, DispatchPlan, DispatchPoint};
+pub use dispatcher::Dispatcher;
+pub use function::{Domain, TrafficFunction};
+pub use harness::FlowHarness;
+pub use shelf::Shelf;
+pub use sorter::Sorter;
+pub use strategy::{DispatchStrategy, Dropout, TimePointRule, TimeSpec};
+
+/// Default single-threaded transmission capacity of DeviceFlow, in
+/// messages per second (§V-B: "e.g., 700 messages per second").
+pub const DEFAULT_CAPACITY_PER_SEC: u64 = 700;

@@ -1,0 +1,110 @@
+//! Shelves: per-task message buffers.
+
+use std::collections::VecDeque;
+
+use simdc_types::{Message, TaskId};
+
+/// The buffer holding a task's pending messages in arrival order.
+#[derive(Debug, Clone, Default)]
+pub struct Shelf {
+    task: TaskId,
+    queue: VecDeque<Message>,
+    received_total: u64,
+}
+
+impl Shelf {
+    /// Creates an empty shelf for `task`.
+    #[must_use]
+    pub fn new(task: TaskId) -> Self {
+        Shelf {
+            task,
+            queue: VecDeque::new(),
+            received_total: 0,
+        }
+    }
+
+    /// The owning task.
+    #[must_use]
+    pub fn task(&self) -> TaskId {
+        self.task
+    }
+
+    /// Buffers a message.
+    pub fn push(&mut self, message: Message) {
+        self.received_total += 1;
+        self.queue.push_back(message);
+    }
+
+    /// Pops up to `n` messages in FIFO order.
+    #[must_use]
+    pub fn take(&mut self, n: usize) -> Vec<Message> {
+        let n = n.min(self.queue.len());
+        self.queue.drain(..n).collect()
+    }
+
+    /// Messages currently pending.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the shelf is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Total messages ever received (including already dispatched ones).
+    #[must_use]
+    pub fn received_total(&self) -> u64 {
+        self.received_total
+    }
+
+    /// Iterates over pending messages without consuming them.
+    pub fn iter(&self) -> impl Iterator<Item = &Message> {
+        self.queue.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simdc_types::{DeviceId, MessageId, RoundId, SimInstant, StorageKey};
+
+    fn msg(i: u64) -> Message {
+        Message::model_update(
+            MessageId(i),
+            TaskId(1),
+            DeviceId(i),
+            RoundId(0),
+            10,
+            StorageKey::for_update(TaskId(1), RoundId(0), DeviceId(i)),
+            SimInstant::EPOCH,
+        )
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut shelf = Shelf::new(TaskId(1));
+        for i in 0..5 {
+            shelf.push(msg(i));
+        }
+        let taken = shelf.take(3);
+        assert_eq!(
+            taken.iter().map(|m| m.id.0).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert_eq!(shelf.len(), 2);
+        assert_eq!(shelf.received_total(), 5);
+    }
+
+    #[test]
+    fn take_clamps_to_available() {
+        let mut shelf = Shelf::new(TaskId(1));
+        shelf.push(msg(0));
+        let taken = shelf.take(10);
+        assert_eq!(taken.len(), 1);
+        assert!(shelf.is_empty());
+        assert!(shelf.take(1).is_empty());
+    }
+}

@@ -1,0 +1,223 @@
+//! FedAvg aggregation.
+//!
+//! The paper aggregates with FedAvg (§VI-A): the global model is the
+//! sample-count-weighted mean of client models,
+//! `w = Σ_k p_k w_k` with `p_k = n_k / Σ n`.
+
+use simdc_types::{Result, SimdcError};
+
+use crate::model::LrModel;
+use crate::train::LocalUpdate;
+
+/// The FedAvg aggregator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FedAvg;
+
+impl FedAvg {
+    /// Aggregates client updates into a new global model.
+    ///
+    /// Updates with zero samples contribute nothing (but are tolerated);
+    /// if *all* updates have zero samples, clients are weighted equally.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimdcError::InvalidConfig`] when `updates` is empty or the
+    /// models disagree on dimension.
+    pub fn aggregate(updates: &[LocalUpdate]) -> Result<LrModel> {
+        let first = updates.first().ok_or_else(|| {
+            SimdcError::InvalidConfig("cannot aggregate an empty update set".into())
+        })?;
+        let dim = first.model.dim();
+        for u in updates {
+            if u.model.dim() != dim {
+                return Err(SimdcError::InvalidConfig(format!(
+                    "model dimension mismatch: {} vs {dim}",
+                    u.model.dim()
+                )));
+            }
+        }
+
+        let total: u64 = updates.iter().map(|u| u.n_samples).sum();
+        let weights: Vec<f64> = if total == 0 {
+            vec![1.0 / updates.len() as f64; updates.len()]
+        } else {
+            updates
+                .iter()
+                .map(|u| u.n_samples as f64 / total as f64)
+                .collect()
+        };
+
+        let mut acc = vec![0.0f64; dim as usize];
+        let mut bias_acc = 0.0f64;
+        for (update, &p) in updates.iter().zip(&weights) {
+            for (a, &w) in acc.iter_mut().zip(update.model.weights()) {
+                *a += p * f64::from(w);
+            }
+            bias_acc += p * f64::from(update.model.bias());
+        }
+
+        let mut model = LrModel::zeros(dim);
+        for (dst, &src) in model.weights_mut().iter_mut().zip(&acc) {
+            *dst = src as f32;
+        }
+        model.set_bias(bias_acc as f32);
+        Ok(model)
+    }
+
+    /// Sample-weighted mean of the clients' reported final losses — the
+    /// "training loss" series Fig 9(a) plots per aggregation round.
+    #[must_use]
+    pub fn weighted_loss(updates: &[LocalUpdate]) -> f64 {
+        let total: u64 = updates.iter().map(|u| u.n_samples).sum();
+        if total == 0 {
+            return updates.iter().map(|u| u.final_loss).sum::<f64>() / updates.len().max(1) as f64;
+        }
+        updates
+            .iter()
+            .map(|u| u.final_loss * (u.n_samples as f64 / total as f64))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn update(weights: Vec<f32>, bias: f32, n: u64, loss: f64) -> LocalUpdate {
+        LocalUpdate {
+            model: LrModel::from_parts(weights, bias),
+            n_samples: n,
+            final_loss: loss,
+        }
+    }
+
+    #[test]
+    fn equal_weights_average() {
+        let updates = vec![
+            update(vec![1.0, 0.0], 1.0, 10, 0.5),
+            update(vec![0.0, 1.0], 3.0, 10, 0.7),
+        ];
+        let global = FedAvg::aggregate(&updates).unwrap();
+        assert_eq!(global.weights(), &[0.5, 0.5]);
+        assert_eq!(global.bias(), 2.0);
+        assert!((FedAvg::weighted_loss(&updates) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighting_follows_sample_counts() {
+        let updates = vec![
+            update(vec![1.0], 0.0, 30, 1.0),
+            update(vec![0.0], 0.0, 10, 0.0),
+        ];
+        let global = FedAvg::aggregate(&updates).unwrap();
+        assert!((global.weights()[0] - 0.75).abs() < 1e-6);
+        assert!((FedAvg::weighted_loss(&updates) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_update_is_identity() {
+        let u = update(vec![0.25, -0.5, 3.0], 0.125, 7, 0.3);
+        let global = FedAvg::aggregate(std::slice::from_ref(&u)).unwrap();
+        assert_eq!(global, u.model);
+    }
+
+    #[test]
+    fn empty_set_is_an_error() {
+        assert!(FedAvg::aggregate(&[]).is_err());
+    }
+
+    #[test]
+    fn dimension_mismatch_is_an_error() {
+        let updates = vec![
+            update(vec![1.0], 0.0, 1, 0.0),
+            update(vec![1.0, 2.0], 0.0, 1, 0.0),
+        ];
+        assert!(FedAvg::aggregate(&updates).is_err());
+    }
+
+    #[test]
+    fn all_zero_samples_fall_back_to_uniform() {
+        let updates = vec![
+            update(vec![2.0], 0.0, 0, 0.4),
+            update(vec![4.0], 0.0, 0, 0.8),
+        ];
+        let global = FedAvg::aggregate(&updates).unwrap();
+        assert_eq!(global.weights(), &[3.0]);
+        assert!((FedAvg::weighted_loss(&updates) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_sample_update_contributes_nothing() {
+        let updates = vec![
+            update(vec![1.0], 0.0, 10, 0.0),
+            update(vec![100.0], 50.0, 0, 0.0),
+        ];
+        let global = FedAvg::aggregate(&updates).unwrap();
+        assert_eq!(global.weights(), &[1.0]);
+        assert_eq!(global.bias(), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The aggregate of arbitrary updates stays inside the per-weight
+        /// min/max envelope (a weighted mean can never extrapolate).
+        #[test]
+        fn aggregate_is_a_convex_combination(
+            weights in proptest::collection::vec(
+                proptest::collection::vec(-10.0f32..10.0, 4),
+                1..8
+            ),
+            samples in proptest::collection::vec(0u64..1_000, 8),
+        ) {
+            let updates: Vec<LocalUpdate> = weights
+                .iter()
+                .zip(&samples)
+                .map(|(w, &n)| LocalUpdate {
+                    model: LrModel::from_parts(w.clone(), 0.0),
+                    n_samples: n,
+                    final_loss: 0.0,
+                })
+                .collect();
+            let global = FedAvg::aggregate(&updates).unwrap();
+            for i in 0..4 {
+                let lo = updates
+                    .iter()
+                    .map(|u| u.model.weights()[i])
+                    .fold(f32::INFINITY, f32::min);
+                let hi = updates
+                    .iter()
+                    .map(|u| u.model.weights()[i])
+                    .fold(f32::NEG_INFINITY, f32::max);
+                let g = global.weights()[i];
+                prop_assert!(
+                    g >= lo - 1e-4 && g <= hi + 1e-4,
+                    "weight {i}: {g} outside [{lo}, {hi}]"
+                );
+            }
+        }
+
+        /// Aggregation is invariant to uniformly scaling sample counts.
+        #[test]
+        fn weights_are_scale_invariant(
+            w1 in -5.0f32..5.0,
+            w2 in -5.0f32..5.0,
+            n1 in 1u64..500,
+            n2 in 1u64..500,
+            factor in 2u64..10,
+        ) {
+            let mk = |w: f32, n: u64| LocalUpdate {
+                model: LrModel::from_parts(vec![w], 0.0),
+                n_samples: n,
+                final_loss: 0.0,
+            };
+            let a = FedAvg::aggregate(&[mk(w1, n1), mk(w2, n2)]).unwrap();
+            let b = FedAvg::aggregate(&[mk(w1, n1 * factor), mk(w2, n2 * factor)]).unwrap();
+            prop_assert!((a.weights()[0] - b.weights()[0]).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,484 @@
+//! One emulated physical phone.
+
+use serde::{Deserialize, Serialize};
+use simdc_simrt::RngStream;
+use simdc_types::{DeviceGrade, PhoneId, Result, SimInstant, SimdcError};
+
+use crate::profile::PhoneProfile;
+use crate::stage::{RunPlan, Stage};
+
+/// Where a phone comes from: the local rack or the remote Mobile Service
+/// Platform (MSP).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Provenance {
+    /// Locally racked phone.
+    Local,
+    /// Remote phone rented through the Mobile Service Platform.
+    Msp,
+}
+
+impl std::fmt::Display for Provenance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Provenance::Local => f.write_str("local"),
+            Provenance::Msp => f.write_str("MSP"),
+        }
+    }
+}
+
+/// An emulated Android phone: stage-driven power/CPU/memory/network models
+/// behind a virtual sysfs/procfs, addressable through
+/// [`PhoneDevice::adb_shell`].
+#[derive(Debug, Clone)]
+pub struct PhoneDevice {
+    id: PhoneId,
+    model_name: String,
+    grade: DeviceGrade,
+    provenance: Provenance,
+    profile: PhoneProfile,
+    run: Option<RunPlan>,
+    train_pid: Option<u32>,
+    crashed_at: Option<SimInstant>,
+    noise: RngStream,
+}
+
+impl PhoneDevice {
+    /// Creates an idle phone with the default profile of its grade.
+    #[must_use]
+    pub fn new(
+        id: PhoneId,
+        model_name: impl Into<String>,
+        grade: DeviceGrade,
+        provenance: Provenance,
+        seed: u64,
+    ) -> Self {
+        PhoneDevice {
+            id,
+            model_name: model_name.into(),
+            grade,
+            provenance,
+            profile: PhoneProfile::for_grade(grade),
+            run: None,
+            train_pid: None,
+            crashed_at: None,
+            noise: RngStream::named(seed, &format!("phone/{}", id.0)),
+        }
+    }
+
+    /// Phone identifier.
+    #[must_use]
+    pub fn id(&self) -> PhoneId {
+        self.id
+    }
+
+    /// Marketing model name (phones can be classified by model, §IV-A).
+    #[must_use]
+    pub fn model_name(&self) -> &str {
+        &self.model_name
+    }
+
+    /// Performance grade.
+    #[must_use]
+    pub fn grade(&self) -> DeviceGrade {
+        self.grade
+    }
+
+    /// Local or MSP.
+    #[must_use]
+    pub fn provenance(&self) -> Provenance {
+        self.provenance
+    }
+
+    /// The behaviour profile.
+    #[must_use]
+    pub fn profile(&self) -> &PhoneProfile {
+        &self.profile
+    }
+
+    /// Replaces the behaviour profile (e.g. for custom calibrations).
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidConfig` if the profile fails validation or its grade
+    /// differs from the phone's.
+    pub fn set_profile(&mut self, profile: PhoneProfile) -> Result<()> {
+        profile.validate()?;
+        if profile.grade != self.grade {
+            return Err(SimdcError::InvalidConfig(format!(
+                "profile grade {} does not match phone grade {}",
+                profile.grade, self.grade
+            )));
+        }
+        self.profile = profile;
+        Ok(())
+    }
+
+    /// The active run plan, if any.
+    #[must_use]
+    pub fn run(&self) -> Option<&RunPlan> {
+        self.run.as_ref()
+    }
+
+    /// Whether the phone is executing (or scheduled to execute) work at
+    /// `now`.
+    #[must_use]
+    pub fn is_busy(&self, now: SimInstant) -> bool {
+        if self.crashed_at.is_some_and(|t| now >= t) {
+            return false;
+        }
+        self.run.as_ref().is_some_and(|r| now < r.end())
+    }
+
+    /// Whether the phone has crashed (ADB unreachable) as of `now`.
+    #[must_use]
+    pub fn is_crashed(&self, now: SimInstant) -> bool {
+        self.crashed_at.is_some_and(|t| now >= t)
+    }
+
+    /// Assigns a run plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimdcError::PhoneUnavailable`] if the phone is busy at the
+    /// plan's start or has crashed.
+    pub fn assign_run(&mut self, plan: RunPlan) -> Result<()> {
+        if self.is_crashed(plan.start()) || self.is_busy(plan.start()) {
+            return Err(SimdcError::PhoneUnavailable(self.id));
+        }
+        // Deterministic fake pid derived from the phone id and task.
+        self.train_pid = Some(10_000 + (self.id.0 * 13 + plan.task.0 as u32 * 7) % 20_000);
+        self.run = Some(plan);
+        Ok(())
+    }
+
+    /// Reboots a crashed phone: clears the crash state and any stale run so
+    /// the device becomes selectable again.
+    pub fn reboot(&mut self) {
+        self.crashed_at = None;
+        self.run = None;
+        self.train_pid = None;
+    }
+
+    /// Clears the current run (task finished or torn down).
+    pub fn clear_run(&mut self) {
+        self.run = None;
+        self.train_pid = None;
+    }
+
+    /// Injects a crash at `at`: from then on the device drops off ADB until
+    /// [`PhoneDevice::reboot`] is called.
+    pub fn inject_crash(&mut self, at: SimInstant) {
+        self.crashed_at = Some(at);
+    }
+
+    /// The lifecycle stage at `now` ([`Stage::ApkClosed`] outside any run
+    /// is reported as `None` — the phone is simply idle).
+    #[must_use]
+    pub fn stage_at(&self, now: SimInstant) -> Option<Stage> {
+        if self.is_crashed(now) {
+            return None;
+        }
+        self.run.as_ref().and_then(|r| r.stage_at(now))
+    }
+
+    /// Pid of the training process if the APK is alive at `now`.
+    #[must_use]
+    pub fn train_pid_at(&self, now: SimInstant) -> Option<u32> {
+        match self.stage_at(now) {
+            Some(s) if s.apk_running() => self.train_pid,
+            _ => None,
+        }
+    }
+
+    fn noisy(&mut self, value: f64) -> f64 {
+        let frac = self.profile.noise_frac;
+        if frac == 0.0 {
+            return value;
+        }
+        value * self.noise.uniform_range(1.0 - frac, 1.0 + frac)
+    }
+
+    /// Instantaneous battery discharge current in µA.
+    #[must_use]
+    pub fn current_ua_at(&mut self, now: SimInstant) -> f64 {
+        let ma = match self.stage_at(now) {
+            Some(stage) => self.profile.stage_current(stage),
+            None => 20.0, // deep idle
+        };
+        self.noisy(ma * 1_000.0)
+    }
+
+    /// Instantaneous battery voltage in µV (the sysfs unit; PhoneMgr
+    /// converts to the mV the paper reports).
+    #[must_use]
+    pub fn voltage_uv_at(&mut self, _now: SimInstant) -> f64 {
+        let base = self.profile.voltage_mv * 1_000.0;
+        // Voltage wobbles far less than current.
+        base * self.noise.uniform_range(0.995, 1.005)
+    }
+
+    /// Instantaneous CPU usage of the training process, in percent.
+    ///
+    /// During training the load is a slow sine around the profile base
+    /// (Fig 5's 4–13% band); idle stages sit near the idle floor.
+    #[must_use]
+    pub fn cpu_pct_at(&mut self, now: SimInstant) -> f64 {
+        let p = &self.profile;
+        let value = match self.stage_at(now) {
+            Some(Stage::Training) => {
+                let run = self.run.as_ref().expect("stage implies run");
+                let t = run.training_elapsed_at(now).as_secs_f64();
+                // 20 s oscillation plus a short ramp-in at round start.
+                let osc = (t / 20.0 * std::f64::consts::TAU).sin();
+                let (_, progress) = run.round_progress_at(now);
+                let ramp = (progress * 8.0).min(1.0);
+                p.cpu_idle_pct
+                    + ramp
+                        * (p.cpu_train_base_pct - p.cpu_idle_pct
+                            + p.cpu_train_amp_pct * 0.5 * (1.0 + osc))
+            }
+            Some(Stage::ApkLaunch) => p.cpu_idle_pct + 2.0,
+            Some(_) => p.cpu_idle_pct,
+            None => 0.3,
+        };
+        self.noisy(value).clamp(0.0, 100.0)
+    }
+
+    /// Instantaneous PSS memory of the training process in KB.
+    ///
+    /// Ramps from the launch footprint to the training plateau over
+    /// `mem_ramp` of *active training time* and stays there across waiting
+    /// gaps, matching Fig 5's 10→50 MB envelope.
+    #[must_use]
+    pub fn mem_kb_at(&mut self, now: SimInstant) -> f64 {
+        let p = &self.profile;
+        let value = match self.stage_at(now) {
+            Some(stage) if stage.apk_running() => {
+                let run = self.run.as_ref().expect("stage implies run");
+                let active = run.training_elapsed_at(now).as_secs_f64();
+                let ramp = (active / p.mem_ramp.as_secs_f64()).min(1.0);
+                let mb = p.mem_launch_mb + ramp * (p.mem_train_peak_mb - p.mem_launch_mb);
+                mb * 1_024.0
+            }
+            _ => 0.0, // process not alive
+        };
+        if value == 0.0 {
+            0.0
+        } else {
+            self.noisy(value)
+        }
+    }
+
+    /// Cumulative network bytes (rx + tx) of the training process since APK
+    /// launch.
+    ///
+    /// Each round transfers `comm_kb_per_round`, spread uniformly over the
+    /// training window (model download at the start, update upload at the
+    /// end, gradients in between).
+    #[must_use]
+    pub fn net_bytes_at(&self, now: SimInstant) -> u64 {
+        let Some(run) = self.run.as_ref() else {
+            return 0;
+        };
+        if self.is_crashed(now) {
+            return 0;
+        }
+        let (completed, progress) = run.round_progress_at(now);
+        let kb = self.profile.comm_kb_per_round * (f64::from(completed) + progress);
+        (kb * 1_024.0).round() as u64
+    }
+
+    /// Split of [`PhoneDevice::net_bytes_at`] into (rx, tx): downloads
+    /// dominate (60/40).
+    #[must_use]
+    pub fn net_rx_tx_at(&self, now: SimInstant) -> (u64, u64) {
+        let total = self.net_bytes_at(now);
+        let rx = (total as f64 * 0.6).round() as u64;
+        (rx, total - rx)
+    }
+
+    /// Executes an ADB shell command against this phone at virtual time
+    /// `now`. See [`crate::adb`] for the supported command surface.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimdcError::AdbCommand`] for unknown commands, missing
+    /// files/processes, or a crashed device.
+    pub fn adb_shell(&mut self, cmd: &str, now: SimInstant) -> Result<String> {
+        if self.is_crashed(now) {
+            return Err(SimdcError::AdbCommand(format!(
+                "device {} offline",
+                self.id
+            )));
+        }
+        crate::adb::exec(self, cmd, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simdc_types::{SimDuration, TaskId};
+
+    fn phone() -> PhoneDevice {
+        PhoneDevice::new(
+            PhoneId(1),
+            "simphone-x1",
+            DeviceGrade::High,
+            Provenance::Local,
+            7,
+        )
+    }
+
+    fn plan(start_secs: u64) -> RunPlan {
+        RunPlan::new(
+            TaskId(1),
+            PhoneId(1),
+            SimInstant::EPOCH + SimDuration::from_secs(start_secs),
+            &[SimDuration::from_secs(16), SimDuration::from_secs(16)],
+            &[SimDuration::from_secs(20)],
+        )
+        .unwrap()
+    }
+
+    fn t(secs: u64) -> SimInstant {
+        SimInstant::EPOCH + SimDuration::from_secs(secs)
+    }
+
+    #[test]
+    fn idle_phone_reports_idle_readings() {
+        let mut p = phone();
+        assert!(!p.is_busy(t(0)));
+        assert_eq!(p.stage_at(t(0)), None);
+        assert_eq!(p.net_bytes_at(t(0)), 0);
+        assert_eq!(p.mem_kb_at(t(0)), 0.0);
+        assert!(p.cpu_pct_at(t(0)) < 1.0);
+        let ua = p.current_ua_at(t(0));
+        assert!((15_000.0..25_000.0).contains(&ua), "idle current {ua}");
+    }
+
+    #[test]
+    fn busy_phone_rejects_second_run() {
+        let mut p = phone();
+        p.assign_run(plan(0)).unwrap();
+        assert!(p.is_busy(t(10)));
+        assert!(matches!(
+            p.assign_run(plan(0)),
+            Err(SimdcError::PhoneUnavailable(_))
+        ));
+    }
+
+    #[test]
+    fn run_after_completion_is_allowed() {
+        let mut p = phone();
+        let first = plan(0);
+        let end = first.end();
+        p.assign_run(first).unwrap();
+        assert!(!p.is_busy(end));
+        let second = RunPlan::new(
+            TaskId(2),
+            PhoneId(1),
+            end,
+            &[SimDuration::from_secs(5)],
+            &[],
+        )
+        .unwrap();
+        p.assign_run(second).unwrap();
+    }
+
+    #[test]
+    fn training_current_matches_profile_band() {
+        let mut p = phone();
+        p.assign_run(plan(0)).unwrap();
+        // Training starts at 30 s (two 15 s measurement windows first).
+        let ua = p.current_ua_at(t(35));
+        let expected = 40.0 * 1_000.0;
+        assert!(
+            (ua - expected).abs() / expected < 0.06,
+            "training current {ua} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn cpu_rises_during_training() {
+        let mut p = phone();
+        p.assign_run(plan(0)).unwrap();
+        let idle = p.cpu_pct_at(t(2));
+        let busy = p.cpu_pct_at(t(40));
+        assert!(busy > idle + 3.0, "busy {busy} vs idle {idle}");
+        assert!(busy < 16.0, "Fig 5 band is ~4-13%: {busy}");
+    }
+
+    #[test]
+    fn memory_ramps_and_persists_through_waiting() {
+        let mut p = phone();
+        p.assign_run(plan(0)).unwrap();
+        let early = p.mem_kb_at(t(31));
+        let late = p.mem_kb_at(t(30 + 16 + 5)); // waiting gap
+        assert!(late > early, "memory should grow: {early} → {late}");
+        assert!(late > 10.0 * 1024.0 && late < 55.0 * 1024.0);
+    }
+
+    #[test]
+    fn net_bytes_accumulate_per_round() {
+        let p = {
+            let mut p = phone();
+            p.assign_run(plan(0)).unwrap();
+            p
+        };
+        let after_r1 = p.net_bytes_at(t(30 + 16 + 1));
+        let expected_r1 = (33.1 * 1024.0) as u64;
+        assert!((after_r1 as i64 - expected_r1 as i64).unsigned_abs() < 200);
+        let end = p.run().unwrap().end();
+        let total = p.net_bytes_at(end);
+        assert!((total as i64 - 2 * expected_r1 as i64).unsigned_abs() < 400);
+        let (rx, tx) = p.net_rx_tx_at(end);
+        assert_eq!(rx + tx, total);
+        assert!(rx > tx);
+    }
+
+    #[test]
+    fn crash_takes_device_offline() {
+        let mut p = phone();
+        p.assign_run(plan(0)).unwrap();
+        p.inject_crash(t(35));
+        assert!(p.is_busy(t(34)));
+        assert!(!p.is_busy(t(36)));
+        assert!(p.is_crashed(t(36)));
+        assert!(p
+            .adb_shell("cat /sys/class/power_supply/battery/current_now", t(40))
+            .is_err());
+        // Crashed phones reject new work until rebooted.
+        let end = plan(0).end();
+        let next = RunPlan::new(
+            TaskId(3),
+            PhoneId(1),
+            end,
+            &[SimDuration::from_secs(5)],
+            &[],
+        )
+        .unwrap();
+        assert!(p.assign_run(next.clone()).is_err());
+        p.reboot();
+        assert!(!p.is_crashed(end));
+        p.assign_run(next).unwrap();
+    }
+
+    #[test]
+    fn pid_visible_only_while_apk_runs() {
+        let mut p = phone();
+        p.assign_run(plan(0)).unwrap();
+        assert_eq!(p.train_pid_at(t(5)), None); // stage 1: no APK
+        assert!(p.train_pid_at(t(20)).is_some()); // APK launch
+        assert!(p.train_pid_at(t(40)).is_some()); // training
+        let end = p.run().unwrap().end();
+        assert_eq!(p.train_pid_at(end), None);
+    }
+
+    #[test]
+    fn profile_swap_validates_grade() {
+        let mut p = phone();
+        assert!(p.set_profile(PhoneProfile::low()).is_err());
+        assert!(p.set_profile(PhoneProfile::high()).is_ok());
+    }
+}

@@ -1,0 +1,491 @@
+//! PhoneMgr: selection, task submission and performance measurement.
+
+use serde::{Deserialize, Serialize};
+use simdc_simrt::TimeSeries;
+use simdc_types::{DeviceGrade, PerGrade, PhoneId, Result, SimDuration, SimInstant, SimdcError};
+
+use crate::device::{PhoneDevice, Provenance};
+use crate::measure::{
+    aggregate_stages, parse_current_ua, parse_pss_kb, parse_top_cpu, parse_voltage_mv,
+    parse_wlan_bytes, PerfReport, PerfSample,
+};
+use crate::stage::{RunPlan, Stage};
+use crate::TRAIN_PROCESS;
+
+/// Fleet composition used by [`PhoneMgr::paper_default`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FleetSpec {
+    /// Local phones per grade.
+    pub local: PerGrade<usize>,
+    /// Remote MSP phones per grade.
+    pub msp: PerGrade<usize>,
+}
+
+impl FleetSpec {
+    /// The paper's default cluster (§VI-A): 10 local (4 High / 6 Low) and
+    /// 20 MSP (13 High / 7 Low) phones.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        FleetSpec {
+            local: PerGrade::from_parts(4, 6),
+            msp: PerGrade::from_parts(13, 7),
+        }
+    }
+}
+
+/// The phone-device management module (§IV-C).
+///
+/// PhoneMgr owns the physical device cluster, selects phones for tasks,
+/// submits run plans, and — for benchmarking devices — periodically
+/// executes the paper's ADB command battery, post-processes the output and
+/// aggregates it into Table-I-style reports.
+#[derive(Debug)]
+pub struct PhoneMgr {
+    phones: Vec<PhoneDevice>,
+    poll_interval: SimDuration,
+}
+
+impl PhoneMgr {
+    /// Creates an empty manager polling benchmark devices every
+    /// `poll_interval`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `poll_interval` is zero.
+    #[must_use]
+    pub fn new(poll_interval: SimDuration) -> Self {
+        assert!(!poll_interval.is_zero(), "poll interval must be positive");
+        PhoneMgr {
+            phones: Vec::new(),
+            poll_interval,
+        }
+    }
+
+    /// Builds the paper's default fleet with a 1 s polling interval.
+    #[must_use]
+    pub fn paper_default(seed: u64) -> Self {
+        Self::with_fleet(FleetSpec::paper_default(), SimDuration::from_secs(1), seed)
+    }
+
+    /// Builds a fleet from an explicit composition.
+    #[must_use]
+    pub fn with_fleet(spec: FleetSpec, poll_interval: SimDuration, seed: u64) -> Self {
+        let mut mgr = PhoneMgr::new(poll_interval);
+        let mut next_id = 0u32;
+        let mut add = |mgr: &mut PhoneMgr, grade: DeviceGrade, prov: Provenance, n: usize| {
+            for _ in 0..n {
+                let id = PhoneId(next_id);
+                next_id += 1;
+                let model = format!(
+                    "simphone-{}{}",
+                    match prov {
+                        Provenance::Local => "l",
+                        Provenance::Msp => "m",
+                    },
+                    id.0
+                );
+                mgr.register(PhoneDevice::new(id, model, grade, prov, seed))
+                    .expect("fresh ids cannot collide");
+            }
+        };
+        for grade in DeviceGrade::ALL {
+            add(&mut mgr, grade, Provenance::Local, *spec.local.get(grade));
+        }
+        for grade in DeviceGrade::ALL {
+            add(&mut mgr, grade, Provenance::Msp, *spec.msp.get(grade));
+        }
+        mgr
+    }
+
+    /// Registers a phone.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidConfig` on a duplicate id.
+    pub fn register(&mut self, phone: PhoneDevice) -> Result<()> {
+        if self.phones.iter().any(|p| p.id() == phone.id()) {
+            return Err(SimdcError::InvalidConfig(format!(
+                "duplicate phone id {}",
+                phone.id()
+            )));
+        }
+        self.phones.push(phone);
+        Ok(())
+    }
+
+    /// The polling interval for benchmark measurement.
+    #[must_use]
+    pub fn poll_interval(&self) -> SimDuration {
+        self.poll_interval
+    }
+
+    /// Total registered phones.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.phones.len()
+    }
+
+    /// All phones.
+    #[must_use]
+    pub fn phones(&self) -> &[PhoneDevice] {
+        &self.phones
+    }
+
+    /// A phone by id.
+    #[must_use]
+    pub fn phone(&self, id: PhoneId) -> Option<&PhoneDevice> {
+        self.phones.iter().find(|p| p.id() == id)
+    }
+
+    /// Mutable access to a phone by id.
+    pub fn phone_mut(&mut self, id: PhoneId) -> Option<&mut PhoneDevice> {
+        self.phones.iter_mut().find(|p| p.id() == id)
+    }
+
+    /// Number of phones of `grade` (optionally filtered by provenance).
+    #[must_use]
+    pub fn count(&self, grade: DeviceGrade, provenance: Option<Provenance>) -> usize {
+        self.phones
+            .iter()
+            .filter(|p| p.grade() == grade)
+            .filter(|p| provenance.is_none_or(|pr| p.provenance() == pr))
+            .count()
+    }
+
+    /// Phones of `grade` idle (and healthy) at `now`.
+    #[must_use]
+    pub fn available(&self, grade: DeviceGrade, now: SimInstant) -> usize {
+        self.phones
+            .iter()
+            .filter(|p| p.grade() == grade && !p.is_busy(now) && !p.is_crashed(now))
+            .count()
+    }
+
+    /// Selects `count` idle phones of `grade` at `now`, preferring local
+    /// devices over MSP rentals.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimdcError::ResourceExhausted`] if fewer than `count` are
+    /// idle.
+    pub fn select(
+        &mut self,
+        grade: DeviceGrade,
+        count: usize,
+        now: SimInstant,
+    ) -> Result<Vec<PhoneId>> {
+        let mut candidates: Vec<&PhoneDevice> = self
+            .phones
+            .iter()
+            .filter(|p| p.grade() == grade && !p.is_busy(now) && !p.is_crashed(now))
+            .collect();
+        candidates.sort_by_key(|p| {
+            (
+                match p.provenance() {
+                    Provenance::Local => 0u8,
+                    Provenance::Msp => 1,
+                },
+                p.id(),
+            )
+        });
+        if candidates.len() < count {
+            return Err(SimdcError::ResourceExhausted {
+                requested: format!("{count} {grade} phones"),
+                available: format!("{} {grade} phones", candidates.len()),
+            });
+        }
+        Ok(candidates[..count].iter().map(|p| p.id()).collect())
+    }
+
+    /// Assigns a run plan to a phone.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimdcError::PhoneUnavailable`] for unknown, busy or
+    /// crashed phones.
+    pub fn submit_run(&mut self, id: PhoneId, plan: RunPlan) -> Result<()> {
+        let phone = self.phone_mut(id).ok_or(SimdcError::PhoneUnavailable(id))?;
+        phone.assign_run(plan)
+    }
+
+    /// Executes the paper's measurement command battery against one phone
+    /// at virtual time `now` and post-processes the output into a
+    /// [`PerfSample`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimdcError::PhoneUnavailable`] for unknown phones, and
+    /// [`SimdcError::AdbCommand`] when the device is offline or output is
+    /// malformed. A phone without an active run yields an error too — only
+    /// benchmarking devices inside a run are polled.
+    pub fn poll(&mut self, id: PhoneId, now: SimInstant) -> Result<PerfSample> {
+        let phone = self.phone_mut(id).ok_or(SimdcError::PhoneUnavailable(id))?;
+        let stage = phone.stage_at(now).ok_or_else(|| {
+            SimdcError::AdbCommand(format!("phone {id} has no active run at {now}"))
+        })?;
+
+        let current_ua = parse_current_ua(
+            &phone.adb_shell("cat /sys/class/power_supply/battery/current_now", now)?,
+        )?;
+        let voltage_mv = parse_voltage_mv(
+            &phone.adb_shell("cat /sys/class/power_supply/battery/voltage_now", now)?,
+        )?;
+
+        let pid_out = phone.adb_shell(&format!("pgrep -f {TRAIN_PROCESS}"), now)?;
+        let (cpu_pct, mem_kb, net_bytes) = if pid_out.trim().is_empty() {
+            // Process not alive (stages 1 and 5): nothing to measure.
+            (0.0, 0.0, phone.net_bytes_at(now))
+        } else {
+            let pid = pid_out.trim();
+            let cpu = parse_top_cpu(&phone.adb_shell(&format!("top -b -n 1 -p {pid}"), now)?)?;
+            let mem = parse_pss_kb(
+                &phone.adb_shell(&format!("dumpsys {TRAIN_PROCESS} | grep PSS"), now)?,
+            )?;
+            let net = parse_wlan_bytes(
+                &phone.adb_shell(&format!("cat /proc/{pid}/net/dev | grep wlan"), now)?,
+            )?;
+            (cpu, mem, net)
+        };
+
+        Ok(PerfSample {
+            phone: id,
+            at: now,
+            stage,
+            current_ua,
+            voltage_mv,
+            cpu_pct,
+            mem_kb,
+            net_bytes,
+        })
+    }
+
+    /// Measures a benchmarking phone across its entire active run: polls at
+    /// the manager's interval, skips the waiting-for-aggregation gaps (the
+    /// paper records no data there), and aggregates the Table-I stages.
+    ///
+    /// If the phone crashes mid-run the report contains everything captured
+    /// up to the crash.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimdcError::PhoneUnavailable`] for unknown phones and
+    /// `InvalidConfig` if the phone has no assigned run.
+    pub fn measure_run(&mut self, id: PhoneId) -> Result<PerfReport> {
+        let (start, end, grade) = {
+            let phone = self.phone(id).ok_or(SimdcError::PhoneUnavailable(id))?;
+            let run = phone.run().ok_or_else(|| {
+                SimdcError::InvalidConfig(format!("phone {id} has no assigned run"))
+            })?;
+            (run.start(), run.end(), phone.grade())
+        };
+
+        let mut samples = Vec::new();
+        let mut cpu_series = TimeSeries::new(format!("{id}/cpu_pct"));
+        let mut mem_series = TimeSeries::new(format!("{id}/mem_mb"));
+        let mut t = start;
+        while t < end {
+            match self.poll(id, t) {
+                Ok(sample) => {
+                    // The paper records no data while a device waits for
+                    // global aggregation (Fig 5's dashed gaps) — waiting
+                    // samples are kept only as raw stage markers so the
+                    // Table-I aggregation can separate adjacent rounds.
+                    if sample.stage != Stage::Waiting && sample.stage.apk_running() {
+                        cpu_series.record(t, sample.cpu_pct);
+                        mem_series.record(t, sample.mem_kb / 1_024.0);
+                    }
+                    samples.push(sample);
+                }
+                Err(SimdcError::AdbCommand(_)) => break, // crashed mid-run
+                Err(other) => return Err(other),
+            }
+            t += self.poll_interval;
+        }
+
+        let stages = aggregate_stages(&samples, self.poll_interval);
+        Ok(PerfReport {
+            phone: id,
+            grade,
+            stages,
+            cpu_series,
+            mem_series,
+            samples,
+        })
+    }
+
+    /// Builds the standard run plan for a task on a phone: per-round
+    /// training at the phone's profiled `β`, separated by the given
+    /// aggregation gaps.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`RunPlan::new`] validation errors and
+    /// [`SimdcError::PhoneUnavailable`] for unknown phones.
+    pub fn plan_for(
+        &self,
+        id: PhoneId,
+        task: simdc_types::TaskId,
+        start: SimInstant,
+        rounds: usize,
+        waiting_gap: SimDuration,
+    ) -> Result<RunPlan> {
+        let phone = self.phone(id).ok_or(SimdcError::PhoneUnavailable(id))?;
+        let beta = phone.profile().beta();
+        let durations = vec![beta; rounds];
+        let gaps = vec![waiting_gap; rounds.saturating_sub(1)];
+        RunPlan::new(task, id, start, &durations, &gaps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simdc_types::TaskId;
+
+    fn t(secs: u64) -> SimInstant {
+        SimInstant::EPOCH + SimDuration::from_secs(secs)
+    }
+
+    #[test]
+    fn paper_default_fleet_composition() {
+        let mgr = PhoneMgr::paper_default(1);
+        assert_eq!(mgr.total(), 30);
+        assert_eq!(mgr.count(DeviceGrade::High, Some(Provenance::Local)), 4);
+        assert_eq!(mgr.count(DeviceGrade::Low, Some(Provenance::Local)), 6);
+        assert_eq!(mgr.count(DeviceGrade::High, Some(Provenance::Msp)), 13);
+        assert_eq!(mgr.count(DeviceGrade::Low, Some(Provenance::Msp)), 7);
+        assert_eq!(mgr.count(DeviceGrade::High, None), 17);
+    }
+
+    #[test]
+    fn select_prefers_local_phones() {
+        let mut mgr = PhoneMgr::paper_default(2);
+        let picked = mgr.select(DeviceGrade::High, 5, t(0)).unwrap();
+        assert_eq!(picked.len(), 5);
+        let locals = picked
+            .iter()
+            .filter(|id| mgr.phone(**id).unwrap().provenance() == Provenance::Local)
+            .count();
+        assert_eq!(locals, 4, "all 4 local High phones come first");
+    }
+
+    #[test]
+    fn select_fails_when_insufficient() {
+        let mut mgr = PhoneMgr::paper_default(3);
+        assert!(mgr.select(DeviceGrade::High, 18, t(0)).is_err());
+    }
+
+    #[test]
+    fn busy_phones_are_not_selectable() {
+        let mut mgr = PhoneMgr::paper_default(4);
+        let id = mgr.select(DeviceGrade::High, 1, t(0)).unwrap()[0];
+        let plan = mgr
+            .plan_for(id, TaskId(1), t(0), 2, SimDuration::from_secs(10))
+            .unwrap();
+        mgr.submit_run(id, plan).unwrap();
+        assert_eq!(mgr.available(DeviceGrade::High, t(5)), 16);
+        let next = mgr.select(DeviceGrade::High, 17, t(5));
+        assert!(next.is_err());
+    }
+
+    #[test]
+    fn poll_produces_clean_sample_during_training() {
+        let mut mgr = PhoneMgr::paper_default(5);
+        let id = mgr.select(DeviceGrade::High, 1, t(0)).unwrap()[0];
+        let plan = mgr
+            .plan_for(id, TaskId(1), t(0), 1, SimDuration::ZERO)
+            .unwrap();
+        mgr.submit_run(id, plan).unwrap();
+        let sample = mgr.poll(id, t(35)).unwrap(); // inside training
+        assert_eq!(sample.stage, Stage::Training);
+        assert!(sample.current_ua > 30_000.0);
+        assert!((3_700.0..4_100.0).contains(&sample.voltage_mv));
+        assert!(sample.cpu_pct > 2.0);
+        assert!(sample.mem_kb > 10_000.0);
+    }
+
+    #[test]
+    fn poll_handles_process_absent_stages() {
+        let mut mgr = PhoneMgr::paper_default(6);
+        let id = mgr.select(DeviceGrade::Low, 1, t(0)).unwrap()[0];
+        let plan = mgr
+            .plan_for(id, TaskId(1), t(0), 1, SimDuration::ZERO)
+            .unwrap();
+        mgr.submit_run(id, plan).unwrap();
+        let sample = mgr.poll(id, t(2)).unwrap(); // stage 1, no APK
+        assert_eq!(sample.stage, Stage::NoApk);
+        assert_eq!(sample.cpu_pct, 0.0);
+        assert_eq!(sample.mem_kb, 0.0);
+    }
+
+    #[test]
+    fn poll_without_run_is_an_error() {
+        let mut mgr = PhoneMgr::paper_default(7);
+        let id = mgr.phones()[0].id();
+        assert!(mgr.poll(id, t(0)).is_err());
+    }
+
+    #[test]
+    fn measure_run_covers_all_five_stages() {
+        let mut mgr = PhoneMgr::paper_default(8);
+        let id = mgr.select(DeviceGrade::High, 1, t(0)).unwrap()[0];
+        let plan = mgr
+            .plan_for(id, TaskId(1), t(0), 3, SimDuration::from_secs(20))
+            .unwrap();
+        mgr.submit_run(id, plan).unwrap();
+        let report = mgr.measure_run(id).unwrap();
+        assert_eq!(report.stages.len(), 5);
+        assert_eq!(report.grade, DeviceGrade::High);
+        // Waiting periods never reach the Fig-5 traces (the paper records
+        // no data while devices wait for aggregation)...
+        assert!(report.cpu_series.len() < report.samples.len());
+        // ...but they do appear as raw stage markers separating rounds.
+        assert!(report.samples.iter().any(|s| s.stage == Stage::Waiting));
+        // CPU/memory traces span the run.
+        assert!(report.cpu_series.len() > 30);
+        assert!(report.mem_series.stats().max > 10.0);
+    }
+
+    #[test]
+    fn measured_power_tracks_table1() {
+        let mut mgr =
+            PhoneMgr::with_fleet(FleetSpec::paper_default(), SimDuration::from_millis(250), 9);
+        let id = mgr.select(DeviceGrade::High, 1, t(0)).unwrap()[0];
+        let plan = mgr
+            .plan_for(id, TaskId(1), t(0), 1, SimDuration::ZERO)
+            .unwrap();
+        mgr.submit_run(id, plan).unwrap();
+        let report = mgr.measure_run(id).unwrap();
+        let training = report.stage(Stage::Training).unwrap();
+        // Table I High / Training: 0.18 mAh over 0.27 min.
+        assert!(
+            (training.power_mah - 0.18).abs() < 0.03,
+            "power {}",
+            training.power_mah
+        );
+        assert!((training.duration_min - 0.27).abs() < 0.02);
+        assert!((training.comm_kb - 33.1).abs() < 2.0);
+    }
+
+    #[test]
+    fn crash_mid_run_yields_partial_report() {
+        let mut mgr = PhoneMgr::paper_default(10);
+        let id = mgr.select(DeviceGrade::High, 1, t(0)).unwrap()[0];
+        let plan = mgr
+            .plan_for(id, TaskId(1), t(0), 2, SimDuration::from_secs(10))
+            .unwrap();
+        mgr.submit_run(id, plan).unwrap();
+        mgr.phone_mut(id).unwrap().inject_crash(t(40));
+        let report = mgr.measure_run(id).unwrap();
+        assert!(report.samples.last().unwrap().at < t(40));
+        assert!(report.stages.len() < 5, "post-crash stages missing");
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let mut mgr = PhoneMgr::new(SimDuration::from_secs(1));
+        let p = PhoneDevice::new(PhoneId(0), "x", DeviceGrade::High, Provenance::Local, 1);
+        mgr.register(p.clone()).unwrap();
+        assert!(mgr.register(p).is_err());
+    }
+}

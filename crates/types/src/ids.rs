@@ -1,0 +1,180 @@
+//! Strongly typed identifiers.
+//!
+//! Each identifier is a newtype over an integer (or string for
+//! [`StorageKey`]) so that a task id can never be confused with a device id
+//! at a call site. All ids implement the common traits eagerly
+//! (`C-COMMON-TRAITS`) and serialize transparently.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! int_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal, $inner:ty) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub $inner);
+
+        impl $name {
+            /// Returns the raw integer value of this identifier.
+            #[must_use]
+            pub const fn as_u64(self) -> u64 {
+                self.0 as u64
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "-{}"), self.0)
+            }
+        }
+
+        impl From<$inner> for $name {
+            fn from(v: $inner) -> Self {
+                Self(v)
+            }
+        }
+    };
+}
+
+int_id!(
+    /// Unique identifier of a submitted task (the paper's `task_id`).
+    TaskId, "task", u64
+);
+int_id!(
+    /// Identifier of one simulated edge device within a task.
+    DeviceId, "dev", u64
+);
+int_id!(
+    /// Identifier of a physical phone in the device-simulation cluster.
+    PhoneId, "phone", u32
+);
+int_id!(
+    /// Identifier of a logical-simulation actor (one per resource bundle).
+    ActorId, "actor", u64
+);
+int_id!(
+    /// Identifier of a worker node in the logical-simulation cluster.
+    NodeId, "node", u32
+);
+int_id!(
+    /// Identifier of a device→cloud message handled by DeviceFlow.
+    MessageId, "msg", u64
+);
+int_id!(
+    /// Zero-based index of a device-cloud collaboration round.
+    RoundId, "round", u32
+);
+
+impl RoundId {
+    /// The first round of a task.
+    pub const FIRST: RoundId = RoundId(0);
+
+    /// Returns the round that follows this one.
+    #[must_use]
+    pub const fn next(self) -> RoundId {
+        RoundId(self.0 + 1)
+    }
+}
+
+/// Key under which a device's computation result is stored in shared
+/// storage.
+///
+/// Devices upload payloads to storage and send a [`crate::Message`] carrying
+/// the key; cloud services later fetch the payload by key (§III-B of the
+/// paper).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct StorageKey(pub String);
+
+impl StorageKey {
+    /// Builds the canonical key for a device's result in a given round.
+    ///
+    /// ```
+    /// use simdc_types::{DeviceId, RoundId, StorageKey, TaskId};
+    /// let key = StorageKey::for_update(TaskId(7), RoundId(2), DeviceId(19));
+    /// assert_eq!(key.as_str(), "task-7/round-2/dev-19");
+    /// ```
+    #[must_use]
+    pub fn for_update(task: TaskId, round: RoundId, device: DeviceId) -> Self {
+        StorageKey(format!("{task}/{round}/{device}"))
+    }
+
+    /// Builds the canonical key for the global model published in a round.
+    #[must_use]
+    pub fn for_global_model(task: TaskId, round: RoundId) -> Self {
+        StorageKey(format!("{task}/{round}/global"))
+    }
+
+    /// Returns the key as a string slice.
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for StorageKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for StorageKey {
+    fn from(s: &str) -> Self {
+        StorageKey(s.to_owned())
+    }
+}
+
+impl From<String> for StorageKey {
+    fn from(s: String) -> Self {
+        StorageKey(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_prefix() {
+        assert_eq!(TaskId(3).to_string(), "task-3");
+        assert_eq!(DeviceId(11).to_string(), "dev-11");
+        assert_eq!(PhoneId(2).to_string(), "phone-2");
+        assert_eq!(ActorId(0).to_string(), "actor-0");
+        assert_eq!(NodeId(9).to_string(), "node-9");
+        assert_eq!(MessageId(1).to_string(), "msg-1");
+        assert_eq!(RoundId(5).to_string(), "round-5");
+    }
+
+    #[test]
+    fn round_next_increments() {
+        assert_eq!(RoundId::FIRST.next(), RoundId(1));
+        assert_eq!(RoundId(41).next(), RoundId(42));
+    }
+
+    #[test]
+    fn ids_order_by_value() {
+        assert!(TaskId(1) < TaskId(2));
+        assert!(DeviceId(100) > DeviceId(99));
+    }
+
+    #[test]
+    fn storage_key_round_trips_serde() {
+        let key = StorageKey::for_update(TaskId(1), RoundId(0), DeviceId(4));
+        let json = serde_json::to_string(&key).unwrap();
+        assert_eq!(json, "\"task-1/round-0/dev-4\"");
+        let back: StorageKey = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, key);
+    }
+
+    #[test]
+    fn id_serde_is_transparent() {
+        assert_eq!(serde_json::to_string(&TaskId(9)).unwrap(), "9");
+        let id: DeviceId = serde_json::from_str("77").unwrap();
+        assert_eq!(id, DeviceId(77));
+    }
+}

@@ -1,0 +1,97 @@
+//! Phone benchmarking: drive the emulated physical-device cluster the way
+//! §IV-C does — select benchmarking phones, submit a run, poll them over
+//! ADB, post-process the output and print a Table-I-style stage report.
+//!
+//! ```sh
+//! cargo run --example phone_benchmarking
+//! ```
+
+use simdc::phone::RunPlan;
+use simdc::prelude::*;
+
+fn main() -> Result<(), SimdcError> {
+    let mut mgr = PhoneMgr::paper_default(2024);
+    println!(
+        "fleet: {} phones ({} High / {} Low)",
+        mgr.total(),
+        mgr.count(DeviceGrade::High, None),
+        mgr.count(DeviceGrade::Low, None),
+    );
+
+    // Raw ADB access, exactly the commands the paper lists.
+    let high = mgr.select(DeviceGrade::High, 1, SimInstant::EPOCH)?[0];
+    let low = mgr.select(DeviceGrade::Low, 1, SimInstant::EPOCH)?[0];
+    for (label, phone) in [("High", high), ("Low", low)] {
+        let plan = mgr.plan_for(
+            phone,
+            TaskId(1),
+            SimInstant::EPOCH,
+            2,
+            SimDuration::from_secs(25),
+        )?;
+        mgr.submit_run(phone, plan)?;
+        let t = SimInstant::EPOCH + SimDuration::from_secs(35); // mid-training
+        let device = mgr.phone_mut(phone).expect("registered");
+        let current = device.adb_shell("cat /sys/class/power_supply/battery/current_now", t)?;
+        let pid = device.adb_shell("pgrep -f com.simdc.train", t)?;
+        let pss = device.adb_shell("dumpsys com.simdc.train | grep PSS", t)?;
+        let net = device.adb_shell(&format!("cat /proc/{pid}/net/dev | grep wlan"), t)?;
+        println!("\n[{label} phone {phone}] raw ADB mid-training:");
+        println!("  current_now: {current} µA");
+        println!("  pgrep:       pid {pid}");
+        println!("  dumpsys:     {}", pss.trim());
+        println!("  net/dev:     {}", net.trim());
+    }
+
+    // Full measurement sessions, aggregated per stage.
+    println!("\nTable-I-style stage report (2 training rounds each):");
+    println!("grade | stage              | power mAh | duration min | comm KB");
+    for phone in [high, low] {
+        let report = mgr.measure_run(phone)?;
+        for stage in [
+            Stage::NoApk,
+            Stage::ApkLaunch,
+            Stage::Training,
+            Stage::PostTraining,
+            Stage::ApkClosed,
+        ] {
+            if let Some(m) = report.stage(stage) {
+                println!(
+                    "{:>5} | {:<18} | {:>9.2} | {:>12.2} | {:>7.2}",
+                    report.grade.to_string(),
+                    stage.label(),
+                    m.power_mah,
+                    m.duration_min,
+                    m.comm_kb,
+                );
+            }
+        }
+        let cpu = report.cpu_series.stats();
+        let mem = report.mem_series.stats();
+        println!(
+            "      └ cpu {:.1}-{:.1}% (mean {:.1}), mem {:.1}-{:.1} MB over {} samples",
+            cpu.min, cpu.max, cpu.mean, mem.min, mem.max, cpu.count
+        );
+    }
+
+    // Failure injection: crash a phone mid-run and show the partial report.
+    let victim = mgr.select(DeviceGrade::High, 1, SimInstant::EPOCH)?[0];
+    let plan: RunPlan = mgr.plan_for(
+        victim,
+        TaskId(2),
+        SimInstant::EPOCH,
+        3,
+        SimDuration::from_secs(20),
+    )?;
+    mgr.submit_run(victim, plan)?;
+    mgr.phone_mut(victim)
+        .expect("registered")
+        .inject_crash(SimInstant::EPOCH + SimDuration::from_secs(50));
+    let partial = mgr.measure_run(victim)?;
+    println!(
+        "\ncrash injection on {victim}: captured {} samples across {} stages before losing ADB",
+        partial.samples.len(),
+        partial.stages.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,89 @@
+//! Quickstart: run a small federated-learning task on the paper's default
+//! hybrid platform and print the round-by-round report.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use simdc::prelude::*;
+
+fn main() -> Result<(), SimdcError> {
+    // 1. A synthetic Avazu-like CTR dataset: 60 training devices with
+    //    heterogeneous click-through rates, plus a held-out test set.
+    let data = Arc::new(CtrDataset::generate(&GeneratorConfig {
+        n_devices: 60,
+        n_test_devices: 10,
+        mean_records_per_device: 25.0,
+        feature_dim: 1 << 12,
+        ctr_alpha: 2.0,
+        ctr_beta: 2.0,
+        seed: 42,
+        ..GeneratorConfig::default()
+    }));
+    println!(
+        "dataset: {} devices, {} examples, positive rate {:.3}",
+        data.devices.len(),
+        data.total_examples(),
+        data.positive_rate()
+    );
+
+    // 2. The paper's default platform: a 200-core logical cluster and a
+    //    30-phone fleet (4+6 local, 13+7 MSP).
+    let mut platform = Platform::paper_default();
+
+    // 3. A 3-round task simulating 20 High-grade devices; 2 benchmarking
+    //    phones capture power/CPU/memory while the task trains.
+    let spec = TaskSpec::builder(TaskId(1))
+        .rounds(3)
+        .grade(GradeRequirement {
+            grade: DeviceGrade::High,
+            total_devices: 20,
+            benchmark_phones: 2,
+            logical_unit_bundles: 40,
+            units_per_device: 8,
+            phones: 6,
+        })
+        .trigger(AggregationTrigger::DeviceThreshold { min_devices: 20 })
+        .train(TrainConfig {
+            learning_rate: 0.3,
+            epochs: 5,
+        })
+        .seed(7)
+        .build()?;
+
+    platform.submit(spec, data)?;
+    platform.run_until_idle();
+
+    // 4. Inspect the report.
+    let report = platform.report(TaskId(1)).expect("task completed");
+    println!(
+        "\nallocation: {} logical / {} phone / {} benchmark devices, planned T = {}",
+        report.allocation.grades[0].logical_devices,
+        report.allocation.grades[0].phone_devices,
+        report.allocation.grades[0].benchmark_devices,
+        report.allocation.task_time,
+    );
+    for round in &report.rounds {
+        println!(
+            "{}: {} updates aggregated at {} (loss {:.4}, test acc {:.3})",
+            round.round,
+            round.included_updates,
+            round.aggregated_at,
+            round.train_loss,
+            round.eval.accuracy,
+        );
+    }
+    for bench in &report.benchmark_reports {
+        let training = bench
+            .stage(Stage::Training)
+            .expect("training stage measured");
+        println!(
+            "benchmark {}: training stage {:.2} mAh over {:.2} min, {:.1} KB comms",
+            bench.phone, training.power_mah, training.duration_min, training.comm_kb
+        );
+    }
+    println!("\ntotal virtual duration: {}", report.duration());
+    Ok(())
+}

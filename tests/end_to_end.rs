@@ -1,0 +1,190 @@
+//! End-to-end integration: submit tasks through the full platform stack —
+//! scheduler → allocation optimizer → cluster + phones → DeviceFlow →
+//! cloud triggers → FedAvg — and check the cross-crate invariants.
+
+use std::sync::Arc;
+
+use simdc::prelude::*;
+
+fn dataset(n: usize, seed: u64) -> Arc<CtrDataset> {
+    Arc::new(CtrDataset::generate(&GeneratorConfig {
+        n_devices: n,
+        n_test_devices: 10,
+        mean_records_per_device: 20.0,
+        feature_dim: 1 << 12,
+        ctr_alpha: 2.0,
+        ctr_beta: 2.0,
+        seed,
+        ..GeneratorConfig::default()
+    }))
+}
+
+fn hybrid_spec(id: u64, n_high: u64, n_low: u64) -> TaskSpec {
+    TaskSpec::builder(TaskId(id))
+        .rounds(3)
+        .grade(GradeRequirement {
+            grade: DeviceGrade::High,
+            total_devices: n_high,
+            benchmark_phones: 1,
+            logical_unit_bundles: 48,
+            units_per_device: 8,
+            phones: 6,
+        })
+        .grade(GradeRequirement {
+            grade: DeviceGrade::Low,
+            total_devices: n_low,
+            benchmark_phones: 1,
+            logical_unit_bundles: 24,
+            units_per_device: 2,
+            phones: 5,
+        })
+        .trigger(AggregationTrigger::DeviceThreshold {
+            min_devices: n_high + n_low,
+        })
+        .train(TrainConfig {
+            learning_rate: 0.3,
+            epochs: 5,
+        })
+        .seed(id * 31)
+        .build()
+        .expect("valid spec")
+}
+
+#[test]
+fn hybrid_task_runs_to_completion_with_consistent_accounting() {
+    let mut platform = Platform::paper_default();
+    platform
+        .submit(hybrid_spec(1, 30, 30), dataset(80, 1))
+        .unwrap();
+    platform.run_until_idle();
+
+    let report = platform.report(TaskId(1)).expect("completed");
+    assert_eq!(report.rounds.len(), 3);
+    for round in &report.rounds {
+        // Every device is accounted for: included + stragglers + dropped
+        // equals the population.
+        assert_eq!(
+            round.included_updates + round.stragglers + round.dropped_messages,
+            60,
+            "{round:?}"
+        );
+        assert!(round.trigger_fired);
+        assert!(round.aggregated_at >= round.started_at);
+        assert!(round.included_samples > 0);
+    }
+    // Allocation placed every device.
+    let placed: u64 = report
+        .allocation
+        .grades
+        .iter()
+        .map(|g| g.logical_devices + g.phone_devices + g.benchmark_devices)
+        .sum();
+    assert_eq!(placed, 60);
+    // Two benchmark phones per grade were measured.
+    assert_eq!(report.benchmark_reports.len(), 2);
+    // Resources are fully released.
+    let status = platform.status();
+    assert_eq!(status.free_bundles, 200);
+    assert_eq!(status.free_phones.high, 17);
+    assert_eq!(status.free_phones.low, 13);
+}
+
+#[test]
+fn whole_platform_run_is_deterministic() {
+    let run = || {
+        let mut platform = Platform::paper_default();
+        platform
+            .submit(hybrid_spec(1, 20, 20), dataset(50, 2))
+            .unwrap();
+        platform.run_until_idle();
+        let report = platform.report(TaskId(1)).unwrap().clone();
+        (
+            report
+                .rounds
+                .iter()
+                .map(|r| (r.aggregated_at, r.train_loss.to_bits()))
+                .collect::<Vec<_>>(),
+            report.final_model.clone(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn concurrent_tasks_share_the_platform() {
+    let mut platform = Platform::paper_default();
+    let data = dataset(60, 3);
+    // Two tasks that together fit (48+24)*2 = 144 ≤ 200 bundles and
+    // (6+1+5+1)*2 = 26 ≤ 30 phones.
+    platform
+        .submit(hybrid_spec(1, 10, 10), data.clone())
+        .unwrap();
+    platform.submit(hybrid_spec(2, 10, 10), data).unwrap();
+    let completed = platform.run_until_idle();
+    assert_eq!(completed, 2);
+    for id in [1u64, 2] {
+        let report = platform.report(TaskId(id)).unwrap();
+        assert_eq!(report.rounds.len(), 3);
+        assert!(report.final_accuracy() > 0.4);
+    }
+}
+
+#[test]
+fn priority_order_is_respected_under_contention() {
+    let mut platform = Platform::paper_default();
+    let data = dataset(60, 4);
+    // Each task wants 144 bundles: only one can run at a time.
+    let mut big = |id: u64, priority: u32| {
+        let mut spec = hybrid_spec(id, 10, 10);
+        spec.priority = priority;
+        spec.grades[0].logical_unit_bundles = 96;
+        spec.grades[1].logical_unit_bundles = 48;
+        platform.submit(spec, data.clone()).unwrap();
+    };
+    big(1, 1);
+    big(2, 9);
+    platform.run_until_idle();
+    let first = platform.report(TaskId(2)).unwrap();
+    let second = platform.report(TaskId(1)).unwrap();
+    assert!(
+        first.started_at <= second.started_at,
+        "high priority starts no later: {} vs {}",
+        first.started_at,
+        second.started_at
+    );
+}
+
+#[test]
+fn learning_improves_over_rounds_end_to_end() {
+    let mut platform = Platform::paper_default();
+    let mut spec = hybrid_spec(1, 25, 25);
+    spec.rounds = 6;
+    platform.submit(spec, dataset(60, 5)).unwrap();
+    platform.run_until_idle();
+    let report = platform.report(TaskId(1)).unwrap();
+    let first_loss = report.rounds.first().unwrap().train_loss;
+    let last_loss = report.rounds.last().unwrap().train_loss;
+    assert!(
+        last_loss < first_loss,
+        "loss should fall: {first_loss} → {last_loss}"
+    );
+    assert!(report.final_accuracy() > 0.5);
+}
+
+#[test]
+fn infeasible_and_duplicate_submissions_are_rejected() {
+    let mut platform = Platform::paper_default();
+    let data = dataset(20, 6);
+    // Too many phones for the fleet.
+    let mut spec = hybrid_spec(1, 10, 10);
+    spec.grades[0].phones = 100;
+    assert!(matches!(
+        platform.submit(spec, data.clone()),
+        Err(SimdcError::ResourceExhausted { .. })
+    ));
+    // Valid, then duplicate.
+    platform
+        .submit(hybrid_spec(2, 10, 10), data.clone())
+        .unwrap();
+    assert!(platform.submit(hybrid_spec(2, 10, 10), data).is_err());
+}
