@@ -9,14 +9,8 @@ fn main() {
         "=== SimDC experiment suite (seed {}, quick: {}) ===\n",
         opts.seed, opts.quick
     );
-    simdc_bench::exp::table1::run(&opts);
-    simdc_bench::exp::fig5::run(&opts);
-    simdc_bench::exp::fig6::run(&opts);
-    simdc_bench::exp::fig7::run(&opts);
-    simdc_bench::exp::fig8::run(&opts);
-    simdc_bench::exp::fig9::run(&opts);
-    simdc_bench::exp::fig10::run(&opts);
-    simdc_bench::exp::table2::run(&opts);
-    simdc_bench::exp::fig11::run(&opts);
+    for (_, run) in simdc_bench::exp::ALL {
+        run(&opts);
+    }
     println!("\nAll results written to {}/", opts.out_dir.display());
 }

@@ -14,9 +14,50 @@ pub mod fig9;
 pub mod table1;
 pub mod table2;
 
+use crate::ExpOptions;
 use simdc_core::{AggregationTrigger, GradeRequirement, TaskSpec};
 use simdc_data::{CtrDataset, GeneratorConfig};
 use simdc_types::{DeviceGrade, SimDuration, TaskId};
+
+/// Entry point of one experiment: runs it and writes its JSON result.
+pub type ExpRunner = fn(&ExpOptions);
+
+/// Every experiment of the paper's evaluation, in presentation order.
+///
+/// The single source of truth for "what does the suite contain": the
+/// `run_all` binary and the registry smoke test both iterate this slice,
+/// so a new experiment module is either wired in here (and thereby run,
+/// smoke-tested and listed) or it does not exist as far as the suite is
+/// concerned. The name doubles as the JSON result stem under `--out`.
+pub const ALL: &[(&str, ExpRunner)] = &[
+    ("table1", |opts| {
+        table1::run(opts);
+    }),
+    ("fig5", |opts| {
+        fig5::run(opts);
+    }),
+    ("fig6", |opts| {
+        fig6::run(opts);
+    }),
+    ("fig7", |opts| {
+        fig7::run(opts);
+    }),
+    ("fig8", |opts| {
+        fig8::run(opts);
+    }),
+    ("fig9", |opts| {
+        fig9::run(opts);
+    }),
+    ("fig10", |opts| {
+        fig10::run(opts);
+    }),
+    ("table2", |opts| {
+        table2::run(opts);
+    }),
+    ("fig11", |opts| {
+        fig11::run(opts);
+    }),
+];
 
 /// Standard two-grade dataset used by the platform experiments.
 ///

@@ -1,0 +1,239 @@
+//! Vendored minimal stand-in for the `criterion` crate.
+//!
+//! Exposes the API surface SimDC's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `black_box` and the `criterion_group!`/`criterion_main!` macros — with a
+//! simple time-boxed wall-clock measurement instead of criterion's full
+//! statistical pipeline. Good enough to keep benches compiling and to give
+//! rough per-iteration numbers offline; swap in the real crate for serious
+//! measurement.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a benchmark's result.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    /// Target measurement budget per benchmark.
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(500),
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the per-benchmark measurement budget.
+    #[must_use]
+    pub fn measurement_time(mut self, time: Duration) -> Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Sets the nominal sample count.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            &id.to_string(),
+            self.measurement_time,
+            self.sample_size,
+            &mut f,
+        );
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(
+            &full,
+            self.criterion.measurement_time,
+            self.criterion.sample_size,
+            &mut f,
+        );
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(
+            &full,
+            self.criterion.measurement_time,
+            self.criterion.sample_size,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Finishes the group (a no-op in the stub; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Identifies a benchmark within a group.
+pub struct BenchmarkId {
+    name: Option<String>,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter.
+    #[must_use]
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: Some(name.into()),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// An id distinguished only by its parameter.
+    #[must_use]
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: None,
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.name {
+            Some(name) => write!(f, "{}/{}", name, self.parameter),
+            None => write!(f, "{}", self.parameter),
+        }
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs the measured routine.
+pub struct Bencher {
+    budget: Duration,
+    sample_size: usize,
+    /// Mean wall-clock time per iteration of the last `iter` call.
+    mean: Option<Duration>,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Measures `routine` repeatedly within the time budget.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up / calibration iteration.
+        let start = Instant::now();
+        black_box(routine());
+        let first = start.elapsed();
+
+        // The warm-up draw is excluded from the mean (cold caches, lazy
+        // init); at least one measured iteration always runs, even when the
+        // warm-up alone exhausted the budget.
+        let budget = self.budget.saturating_sub(first);
+        let mut iterations: u64 = 0;
+        let mut total = Duration::ZERO;
+        let run_start = Instant::now();
+        while iterations == 0
+            || (iterations < self.sample_size as u64 && run_start.elapsed() < budget)
+        {
+            let t = Instant::now();
+            black_box(routine());
+            total += t.elapsed();
+            iterations += 1;
+        }
+        self.mean = Some(total / u32::try_from(iterations).unwrap_or(u32::MAX));
+        self.iterations = iterations;
+    }
+}
+
+fn run_one<F>(name: &str, budget: Duration, sample_size: usize, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        budget,
+        sample_size,
+        mean: None,
+        iterations: 0,
+    };
+    f(&mut bencher);
+    match bencher.mean {
+        Some(mean) => println!(
+            "bench {name:<50} {:>12.3?} /iter ({} iters)",
+            mean, bencher.iterations
+        ),
+        None => println!("bench {name:<50} (no measurement taken)"),
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+///
+/// Supports both the simple form `criterion_group!(name, target, ...)` and
+/// the configured form
+/// `criterion_group!(name = n; config = expr; targets = t1, t2)`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,504 @@
+//! Vendored minimal stand-in for `serde_derive`.
+//!
+//! The build environment cannot fetch crates.io, so this proc-macro crate
+//! re-implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against
+//! the stub `serde` crate's `Value` data model, using only the compiler's
+//! built-in `proc_macro` API (no `syn`/`quote`).
+//!
+//! Supported shapes — everything the SimDC workspace derives:
+//! - unit / tuple / named-field structs (newtype structs are transparent),
+//! - enums with unit, tuple and struct variants (externally tagged),
+//! - generic type parameters (each gets a `Serialize`/`Deserialize` bound).
+//!
+//! `#[serde(...)]` attributes are accepted and ignored; the only one the
+//! workspace uses is `transparent` on newtypes, whose behaviour matches the
+//! default here anyway.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    expand_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    expand_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// A tiny token-level model of a struct/enum definition
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    /// Type parameter identifiers in declaration order (lifetimes excluded).
+    type_params: Vec<String>,
+    kind: Kind,
+}
+
+enum Kind {
+    UnitStruct,
+    TupleStruct(usize),
+    NamedStruct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let tok = self.tokens.get(self.pos).cloned();
+        if tok.is_some() {
+            self.pos += 1;
+        }
+        tok
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Skips `#[...]` (incl. doc comments) and `pub` / `pub(...)` prefixes.
+    fn skip_attrs_and_vis(&mut self) {
+        loop {
+            match self.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    self.next();
+                    // The bracketed attribute body.
+                    if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                    {
+                        self.next();
+                    }
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    self.next();
+                    if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                    {
+                        self.next();
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive stub: expected identifier, got {other:?}"),
+        }
+    }
+
+    /// Consumes a `<...>` generics block if present, returning the type
+    /// parameter names (lifetimes and const generics are not supported by
+    /// the stub; the workspace does not use them on serialized types).
+    fn parse_generics(&mut self) -> Vec<String> {
+        if !matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+            return Vec::new();
+        }
+        self.next(); // '<'
+        let mut params = Vec::new();
+        let mut depth = 1usize;
+        let mut expecting_param = true;
+        let mut prev_was_dash = false;
+        while depth > 0 {
+            let tok = self
+                .next()
+                .expect("serde_derive stub: unterminated generics block");
+            match &tok {
+                TokenTree::Punct(p) => {
+                    let ch = p.as_char();
+                    if ch == '<' {
+                        depth += 1;
+                    } else if ch == '>' && !prev_was_dash {
+                        depth -= 1;
+                    } else if ch == ',' && depth == 1 {
+                        expecting_param = true;
+                    } else if ch == ':' && depth == 1 {
+                        expecting_param = false;
+                    } else if ch == '\'' {
+                        // Lifetime: swallow its identifier, stay in state.
+                        self.next();
+                        expecting_param = false;
+                    }
+                    prev_was_dash = ch == '-';
+                }
+                TokenTree::Ident(id) => {
+                    prev_was_dash = false;
+                    if expecting_param && depth == 1 {
+                        params.push(id.to_string());
+                        expecting_param = false;
+                    }
+                }
+                _ => prev_was_dash = false,
+            }
+        }
+        params
+    }
+
+    /// Skips a type expression up to a top-level `,` (consumed) or the end.
+    fn skip_type(&mut self) {
+        let mut angle_depth = 0usize;
+        let mut prev_was_dash = false;
+        while let Some(tok) = self.peek() {
+            match tok {
+                TokenTree::Punct(p) => {
+                    let ch = p.as_char();
+                    if ch == ',' && angle_depth == 0 {
+                        self.next();
+                        return;
+                    }
+                    if ch == '<' {
+                        angle_depth += 1;
+                    } else if ch == '>' && !prev_was_dash && angle_depth > 0 {
+                        angle_depth -= 1;
+                    }
+                    prev_was_dash = ch == '-';
+                }
+                _ => prev_was_dash = false,
+            }
+            self.next();
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut cur = Cursor::new(input);
+    cur.skip_attrs_and_vis();
+    let keyword = cur.expect_ident();
+    let name = cur.expect_ident();
+    let type_params = cur.parse_generics();
+    // An optional where-clause may precede the body; skip to the body.
+    loop {
+        match cur.peek() {
+            Some(TokenTree::Group(g))
+                if matches!(g.delimiter(), Delimiter::Brace | Delimiter::Parenthesis) =>
+            {
+                break
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => break,
+            Some(_) => {
+                cur.next();
+            }
+            None => break,
+        }
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            _ => Kind::UnitStruct,
+        },
+        "enum" => match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive stub: expected enum body, got {other:?}"),
+        },
+        other => panic!("serde_derive stub: cannot derive for `{other}` items"),
+    };
+    Item {
+        name,
+        type_params,
+        kind,
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut cur = Cursor::new(stream);
+    let mut fields = Vec::new();
+    loop {
+        cur.skip_attrs_and_vis();
+        if cur.at_end() {
+            break;
+        }
+        fields.push(cur.expect_ident());
+        match cur.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive stub: expected `:` after field name, got {other:?}"),
+        }
+        cur.skip_type();
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut cur = Cursor::new(stream);
+    let mut count = 0usize;
+    loop {
+        cur.skip_attrs_and_vis();
+        if cur.at_end() {
+            break;
+        }
+        count += 1;
+        cur.skip_type();
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut cur = Cursor::new(stream);
+    let mut variants = Vec::new();
+    loop {
+        cur.skip_attrs_and_vis();
+        if cur.at_end() {
+            break;
+        }
+        let name = cur.expect_ident();
+        let kind = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                cur.next();
+                VariantKind::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let count = count_tuple_fields(g.stream());
+                cur.next();
+                VariantKind::Tuple(count)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        let mut angle_depth = 0usize;
+        while let Some(tok) = cur.peek() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    cur.next();
+                    break;
+                }
+                TokenTree::Punct(p) if p.as_char() == '<' => {
+                    angle_depth += 1;
+                    cur.next();
+                }
+                TokenTree::Punct(p) if p.as_char() == '>' && angle_depth > 0 => {
+                    angle_depth -= 1;
+                    cur.next();
+                }
+                _ => {
+                    cur.next();
+                }
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (as strings, parsed back into a TokenStream)
+// ---------------------------------------------------------------------------
+
+fn impl_header(item: &Item, trait_name: &str) -> String {
+    if item.type_params.is_empty() {
+        format!("impl ::serde::{trait_name} for {}", item.name)
+    } else {
+        let bounded: Vec<String> = item
+            .type_params
+            .iter()
+            .map(|p| format!("{p}: ::serde::{trait_name}"))
+            .collect();
+        let bare = item.type_params.join(", ");
+        format!(
+            "impl<{}> ::serde::{trait_name} for {}<{bare}>",
+            bounded.join(", "),
+            item.name
+        )
+    }
+}
+
+fn expand_serialize(item: &Item) -> String {
+    let body = match &item.kind {
+        Kind::UnitStruct => "::serde::Value::Null".to_owned(),
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+        Kind::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+        Kind::NamedStruct(fields) => object_literal(fields.iter().map(|f| {
+            (
+                f.clone(),
+                format!("::serde::Serialize::to_value(&self.{f})"),
+            )
+        })),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(serialize_variant_arm).collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived] {} {{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}",
+        impl_header(item, "Serialize")
+    )
+}
+
+fn object_literal(fields: impl Iterator<Item = (String, String)>) -> String {
+    let pairs: Vec<String> = fields
+        .map(|(name, expr)| format!("(\"{name}\".to_owned(), {expr})"))
+        .collect();
+    format!("::serde::Value::Object(vec![{}])", pairs.join(", "))
+}
+
+fn serialize_variant_arm(variant: &Variant) -> String {
+    let vname = &variant.name;
+    match &variant.kind {
+        VariantKind::Unit => {
+            format!("Self::{vname} => ::serde::Value::String(\"{vname}\".to_owned()),")
+        }
+        VariantKind::Tuple(n) => {
+            let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+            let payload = if *n == 1 {
+                "::serde::Serialize::to_value(__f0)".to_owned()
+            } else {
+                let elems: Vec<String> = binders
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+            };
+            format!(
+                "Self::{vname}({}) => ::serde::Value::Object(vec![(\"{vname}\".to_owned(), {payload})]),",
+                binders.join(", ")
+            )
+        }
+        VariantKind::Named(fields) => {
+            let payload = object_literal(
+                fields
+                    .iter()
+                    .map(|f| (f.clone(), format!("::serde::Serialize::to_value({f})"))),
+            );
+            format!(
+                "Self::{vname} {{ {} }} => ::serde::Value::Object(vec![(\"{vname}\".to_owned(), {payload})]),",
+                fields.join(", ")
+            )
+        }
+    }
+}
+
+fn expand_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::UnitStruct => format!(
+            "match __value {{ ::serde::Value::Null => Ok({name}), _ => Err(::serde::Error::custom(\"expected null for unit struct {name}\")) }}"
+        ),
+        Kind::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(__value)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::de_element(__items, {i})?"))
+                .collect();
+            format!(
+                "match __value {{ ::serde::Value::Array(__items) => Ok({name}({})), _ => Err(::serde::Error::custom(\"expected array for tuple struct {name}\")) }}",
+                elems.join(", ")
+            )
+        }
+        Kind::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de_field(__fields, \"{f}\")?"))
+                .collect();
+            format!(
+                "match __value {{ ::serde::Value::Object(__fields) => Ok({name} {{ {} }}), _ => Err(::serde::Error::custom(\"expected object for struct {name}\")) }}",
+                inits.join(", ")
+            )
+        }
+        Kind::Enum(variants) => expand_enum_deserialize(name, variants),
+    };
+    format!(
+        "#[automatically_derived] {} {{ fn from_value(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }} }}",
+        impl_header(item, "Deserialize")
+    )
+}
+
+fn expand_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .map(|v| format!("\"{0}\" => Ok(Self::{0}),", v.name))
+        .collect();
+    let payload_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| {
+            let vname = &v.name;
+            match &v.kind {
+                VariantKind::Unit => None,
+                VariantKind::Tuple(1) => Some(format!(
+                    "\"{vname}\" => Ok(Self::{vname}(::serde::Deserialize::from_value(__payload)?)),"
+                )),
+                VariantKind::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::de_element(__items, {i})?"))
+                        .collect();
+                    Some(format!(
+                        "\"{vname}\" => match __payload {{ ::serde::Value::Array(__items) => Ok(Self::{vname}({})), _ => Err(::serde::Error::custom(\"expected array payload for variant {vname}\")) }},",
+                        elems.join(", ")
+                    ))
+                }
+                VariantKind::Named(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::de_field(__fields, \"{f}\")?"))
+                        .collect();
+                    Some(format!(
+                        "\"{vname}\" => match __payload {{ ::serde::Value::Object(__fields) => Ok(Self::{vname} {{ {} }}), _ => Err(::serde::Error::custom(\"expected object payload for variant {vname}\")) }},",
+                        inits.join(", ")
+                    ))
+                }
+            }
+        })
+        .collect();
+    format!(
+        "match __value {{ \
+            ::serde::Value::String(__s) => match __s.as_str() {{ {} _ => Err(::serde::Error::custom(format!(\"unknown variant `{{__s}}` of enum {name}\"))) }}, \
+            ::serde::Value::Object(__tagged) if __tagged.len() == 1 => {{ \
+                let (__tag, __payload) = &__tagged[0]; \
+                match __tag.as_str() {{ {} _ => Err(::serde::Error::custom(format!(\"unknown variant `{{__tag}}` of enum {name}\"))) }} \
+            }}, \
+            _ => Err(::serde::Error::custom(\"expected string or single-key object for enum {name}\")) \
+        }}",
+        unit_arms.join(" "),
+        payload_arms.join(" ")
+    )
+}
