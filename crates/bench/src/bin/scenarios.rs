@@ -1,0 +1,10 @@
+//! Runs the workload scenario suite (see `exp::scenarios`).
+//!
+//! `results/scenarios.json` holds one summary per scenario; two runs with
+//! the same `--seed` are byte-identical, which CI checks with a plain
+//! `diff`.
+
+fn main() {
+    let opts = simdc_bench::ExpOptions::from_args();
+    simdc_bench::exp::scenarios::run(&opts);
+}

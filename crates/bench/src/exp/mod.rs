@@ -11,6 +11,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod scenarios;
 pub mod table1;
 pub mod table2;
 
@@ -56,6 +57,9 @@ pub const ALL: &[(&str, ExpRunner)] = &[
     }),
     ("fig11", |opts| {
         fig11::run(opts);
+    }),
+    ("scenarios", |opts| {
+        scenarios::run(opts);
     }),
 ];
 

@@ -69,6 +69,30 @@ pub struct PlatformStatus {
     pub free_phones: PerGrade<u64>,
 }
 
+/// A stream of task submissions arriving over virtual time — the scenario
+/// side of the platform (workload generators implement this; a static task
+/// list is just the degenerate constant-time case).
+///
+/// Arrival instants must be non-decreasing; [`Platform::run_from_source`]
+/// panics otherwise, because out-of-order arrivals would silently break
+/// determinism.
+pub trait SubmissionSource {
+    /// The next submission: `(arrival instant, spec, dataset)`, or `None`
+    /// when the stream is exhausted.
+    fn next_submission(&mut self) -> Option<(SimInstant, TaskSpec, Arc<CtrDataset>)>;
+}
+
+/// Outcome counters of [`Platform::run_from_source`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SourceRunStats {
+    /// Submissions accepted into the queue.
+    pub submitted: usize,
+    /// Submissions rejected at the door (validation / infeasible claims).
+    pub rejected: usize,
+    /// Tasks that ran to completion.
+    pub completed: usize,
+}
+
 /// The assembled platform.
 pub struct Platform {
     cluster: LogicalCluster,
@@ -228,6 +252,59 @@ impl Platform {
         completed
     }
 
+    /// Drains a [`SubmissionSource`]: tasks arrive over virtual time, queue
+    /// up, and run in admission waves.
+    ///
+    /// Wave semantics: the clock jumps to the next arrival, every
+    /// submission due by then is admitted, and the wave runs to idle
+    /// (advancing the clock past its completions) before the next arrival
+    /// is pulled. Tasks arriving while a wave executes therefore start at
+    /// the wave's end — their queueing delay is visible as
+    /// `started_at - arrival`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source yields decreasing arrival instants.
+    pub fn run_from_source(&mut self, source: &mut dyn SubmissionSource) -> SourceRunStats {
+        let mut stats = SourceRunStats::default();
+        let mut last_arrival = SimInstant::EPOCH;
+        let mut carried: Option<(SimInstant, TaskSpec, Arc<CtrDataset>)> = None;
+        loop {
+            // Build one wave: the first arrival (possibly carried over
+            // from the previous wave) opens it and jumps the clock; every
+            // further submission due by that clock joins it.
+            let mut wave_open = false;
+            while let Some((at, spec, data)) = carried.take().or_else(|| source.next_submission()) {
+                assert!(
+                    at >= last_arrival,
+                    "submission source went back in time ({at} < {last_arrival})"
+                );
+                last_arrival = at;
+                if wave_open && at > self.clock {
+                    carried = Some((at, spec, data));
+                    break;
+                }
+                self.advance_clock_to(at);
+                wave_open = true;
+                match self.submit(spec, data) {
+                    Ok(_) => stats.submitted += 1,
+                    Err(_) => stats.rejected += 1,
+                }
+            }
+            if !wave_open {
+                return stats;
+            }
+            stats.completed += self.run_until_idle();
+        }
+    }
+
+    /// Advances the virtual clock to `at` (no-op if the clock is already
+    /// past it). Scenario drivers use this to sync the platform with an
+    /// outer event loop before injecting work or fleet events.
+    pub fn advance_clock_to(&mut self, at: SimInstant) {
+        self.clock = self.clock.max(at);
+    }
+
     /// The report of a completed task.
     #[must_use]
     pub fn report(&self, id: TaskId) -> Option<&TaskReport> {
@@ -258,6 +335,19 @@ impl Platform {
     #[must_use]
     pub fn phones(&self) -> &PhoneMgr {
         &self.phones
+    }
+
+    /// Mutable access to the phone manager — the hook fleet-dynamics
+    /// injectors (churn, stragglers, benchmark failures) use to perturb
+    /// the fleet between scheduling waves.
+    ///
+    /// Invariant: perturb *existing* phones only (crash, reboot, profile
+    /// swaps). Registering or retiring phones through this handle would
+    /// desync the Resource Manager's per-grade totals, which are
+    /// snapshotted at construction; fleet *size* changes belong in
+    /// [`PlatformConfig::fleet`].
+    pub fn phones_mut(&mut self) -> &mut PhoneMgr {
+        &mut self.phones
     }
 
     /// The logical cluster.
@@ -365,6 +455,83 @@ mod tests {
         let data = dataset();
         platform.submit(small_spec(1, 0), data.clone()).unwrap();
         assert!(platform.submit(small_spec(1, 0), data).is_err());
+    }
+
+    #[test]
+    fn run_from_source_queues_arrivals_over_time() {
+        struct Timed {
+            items: std::vec::IntoIter<(SimInstant, TaskSpec, Arc<CtrDataset>)>,
+        }
+        impl SubmissionSource for Timed {
+            fn next_submission(&mut self) -> Option<(SimInstant, TaskSpec, Arc<CtrDataset>)> {
+                self.items.next()
+            }
+        }
+        let data = dataset();
+        let t = |secs: u64| SimInstant::EPOCH + SimDuration::from_secs(secs);
+        let mut source = Timed {
+            items: vec![
+                (t(10), small_spec(1, 0), data.clone()),
+                (t(10), small_spec(2, 0), data.clone()),
+                (t(20), small_spec(3, 0), data.clone()),
+            ]
+            .into_iter(),
+        };
+        let mut platform = Platform::paper_default();
+        let stats = platform.run_from_source(&mut source);
+        assert_eq!(stats.submitted, 3);
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.completed, 3);
+        // No task starts before it arrived.
+        for (id, arrival) in [(1u64, t(10)), (2, t(10)), (3, t(20))] {
+            match platform.task_state(TaskId(id)) {
+                Some(TaskState::Completed { started_at, .. }) => {
+                    assert!(*started_at >= arrival, "task {id} started before arrival");
+                }
+                other => panic!("task {id} not completed: {other:?}"),
+            }
+        }
+        assert!(platform.status().now >= t(20));
+    }
+
+    #[test]
+    fn run_from_source_counts_rejections() {
+        struct One {
+            item: Option<(SimInstant, TaskSpec, Arc<CtrDataset>)>,
+        }
+        impl SubmissionSource for One {
+            fn next_submission(&mut self) -> Option<(SimInstant, TaskSpec, Arc<CtrDataset>)> {
+                self.item.take()
+            }
+        }
+        let infeasible = TaskSpec::builder(TaskId(1))
+            .grade(GradeRequirement {
+                grade: DeviceGrade::High,
+                total_devices: 10,
+                benchmark_phones: 0,
+                logical_unit_bundles: 10_000,
+                units_per_device: 1,
+                phones: 0,
+            })
+            .build()
+            .unwrap();
+        let mut platform = Platform::paper_default();
+        let stats = platform.run_from_source(&mut One {
+            item: Some((SimInstant::EPOCH, infeasible, dataset())),
+        });
+        assert_eq!(stats.submitted, 0);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.completed, 0);
+    }
+
+    #[test]
+    fn advance_clock_never_goes_backwards() {
+        let mut platform = Platform::paper_default();
+        let t = |secs: u64| SimInstant::EPOCH + SimDuration::from_secs(secs);
+        platform.advance_clock_to(t(50));
+        assert_eq!(platform.status().now, t(50));
+        platform.advance_clock_to(t(10));
+        assert_eq!(platform.status().now, t(50));
     }
 
     #[test]

@@ -265,7 +265,10 @@ impl TaskRunner {
                 self.config.data_payload_mib + global.serialized_size() as f64 / (1024.0 * 1024.0);
 
             for (g, placement) in spec.grades.iter().zip(&placements) {
-                let profile = PhoneProfile::for_grade(g.grade);
+                // Effective (fleet-averaged) profile, so stragglers and
+                // other per-phone perturbations stretch the actual wave
+                // timing — the optimizer plans with nominal profiles.
+                let profile = phones.effective_profile(g.grade);
                 // Logical side.
                 if !placement.logical_devices.is_empty() {
                     let job = JobSpec {
@@ -438,9 +441,15 @@ impl TaskRunner {
                 if placement.benchmark_devices.is_empty() {
                     continue;
                 }
-                let profile = PhoneProfile::for_grade(g.grade);
-                let (durations, gaps) = benchmark_windows(&rounds, &profile);
                 for &(_dev, phone) in &placement.benchmark_devices {
+                    // Each benchmark placement names a concrete phone, so
+                    // its measurement windows come from that phone's own
+                    // profile — a straggler benchmark phone is measured at
+                    // its real (slowed) pace, not the fleet average.
+                    let profile = phones
+                        .phone(phone)
+                        .map_or_else(|| PhoneProfile::for_grade(g.grade), |p| p.profile().clone());
+                    let (durations, gaps) = benchmark_windows(&rounds, &profile);
                     let plan = simdc_phone::RunPlan::new(spec.id, phone, start, &durations, &gaps)?;
                     finished_at = finished_at.max(plan.end());
                     phones.submit_run(phone, plan)?;

@@ -144,6 +144,68 @@ mod tests {
     }
 
     #[test]
+    fn zero_claim_specs_always_admitted() {
+        // A spec asking for no bundles and no phones (pure bookkeeping
+        // task) must be admitted even on a fully exhausted manager.
+        let mut queue = TaskQueue::new();
+        queue.submit(spec(1, 0, 100, 10)).unwrap();
+        queue.submit(spec(2, 0, 0, 0)).unwrap();
+        queue.submit(spec(3, 0, 0, 0)).unwrap();
+        let mut rm = ResourceManager::new(100, PerGrade::from_parts(10, 0));
+        let started = GreedyScheduler::new().schedule(&queue, &mut rm);
+        assert_eq!(started, vec![TaskId(1), TaskId(2), TaskId(3)]);
+        assert_eq!(rm.free_bundles(), 0);
+        // And the claim itself is genuinely zero.
+        let claim = claim_for(&spec(9, 0, 0, 0));
+        assert_eq!(claim.unit_bundles, 0);
+        assert_eq!(claim.phones, PerGrade::new(0));
+    }
+
+    #[test]
+    fn backfills_past_oversized_head_of_queue() {
+        // Head of queue (highest priority) can never fit even an idle
+        // manager of this size; everything behind it still gets admitted.
+        let mut queue = TaskQueue::new();
+        queue.submit(spec(1, 9, 500, 0)).unwrap(); // oversized head
+        queue.submit(spec(2, 5, 60, 2)).unwrap();
+        queue.submit(spec(3, 1, 40, 3)).unwrap();
+        let mut rm = ResourceManager::new(100, PerGrade::from_parts(10, 0));
+        let started = GreedyScheduler::new().schedule(&queue, &mut rm);
+        assert_eq!(started, vec![TaskId(2), TaskId(3)]);
+        assert_eq!(rm.free_bundles(), 0);
+        assert_eq!(rm.free_phones(DeviceGrade::High), 5);
+        // The head stays pending for the platform's starvation handling.
+        assert!(queue.get(TaskId(1)).unwrap().state.is_pending());
+    }
+
+    #[test]
+    fn equal_priority_ties_break_by_submission_order() {
+        // Capacity for exactly one of the two equal-priority tasks: the
+        // earlier submission wins, regardless of id order.
+        let mut queue = TaskQueue::new();
+        queue.submit(spec(7, 5, 80, 0)).unwrap(); // submitted first
+        queue.submit(spec(2, 5, 80, 0)).unwrap();
+        let mut rm = ResourceManager::new(100, PerGrade::new(10));
+        let started = GreedyScheduler::new().schedule(&queue, &mut rm);
+        assert_eq!(started, vec![TaskId(7)]);
+        // Higher priority still beats earlier submission.
+        let mut queue = TaskQueue::new();
+        queue.submit(spec(7, 5, 80, 0)).unwrap();
+        queue.submit(spec(2, 6, 80, 0)).unwrap();
+        let mut rm = ResourceManager::new(100, PerGrade::new(10));
+        let started = GreedyScheduler::new().schedule(&queue, &mut rm);
+        assert_eq!(started, vec![TaskId(2)]);
+    }
+
+    #[test]
+    fn schedule_on_empty_queue_is_a_no_op() {
+        let queue = TaskQueue::new();
+        let mut rm = ResourceManager::new(100, PerGrade::new(10));
+        assert!(GreedyScheduler::new().schedule(&queue, &mut rm).is_empty());
+        assert_eq!(rm.free_bundles(), 100);
+    }
+
+    #[test]
     fn feasibility_check_uses_total_capacity() {
         let s = GreedyScheduler::new();
         let big = spec(1, 0, 500, 0);

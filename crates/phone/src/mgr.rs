@@ -9,6 +9,7 @@ use crate::measure::{
     aggregate_stages, parse_current_ua, parse_pss_kb, parse_top_cpu, parse_voltage_mv,
     parse_wlan_bytes, PerfReport, PerfSample,
 };
+use crate::profile::PhoneProfile;
 use crate::stage::{RunPlan, Stage};
 use crate::TRAIN_PROCESS;
 
@@ -150,6 +151,28 @@ impl PhoneMgr {
             .filter(|p| p.grade() == grade)
             .filter(|p| provenance.is_none_or(|pr| p.provenance() == pr))
             .count()
+    }
+
+    /// The *effective* behaviour profile of a grade: the nominal grade
+    /// profile with training and startup durations averaged over the
+    /// actual fleet. With a uniform fleet this equals
+    /// [`PhoneProfile::for_grade`]; once stragglers slow individual
+    /// phones down, the effective durations stretch accordingly — which is
+    /// what makes fleet perturbations visible to task execution times.
+    #[must_use]
+    pub fn effective_profile(&self, grade: DeviceGrade) -> PhoneProfile {
+        let mut profile = PhoneProfile::for_grade(grade);
+        let (mut n, mut train_secs, mut startup_secs) = (0u32, 0.0f64, 0.0f64);
+        for p in self.phones.iter().filter(|p| p.grade() == grade) {
+            n += 1;
+            train_secs += p.profile().train_duration.as_secs_f64();
+            startup_secs += p.profile().framework_startup.as_secs_f64();
+        }
+        if n > 0 {
+            profile.train_duration = SimDuration::from_secs_f64(train_secs / f64::from(n));
+            profile.framework_startup = SimDuration::from_secs_f64(startup_secs / f64::from(n));
+        }
+        profile
     }
 
     /// Phones of `grade` idle (and healthy) at `now`.
@@ -479,6 +502,35 @@ mod tests {
         let report = mgr.measure_run(id).unwrap();
         assert!(report.samples.last().unwrap().at < t(40));
         assert!(report.stages.len() < 5, "post-crash stages missing");
+    }
+
+    #[test]
+    fn effective_profile_tracks_fleet_composition() {
+        let mut mgr = PhoneMgr::paper_default(11);
+        let nominal = PhoneProfile::for_grade(DeviceGrade::High);
+        // Uniform fleet: effective == nominal.
+        let eff = mgr.effective_profile(DeviceGrade::High);
+        assert_eq!(eff.train_duration, nominal.train_duration);
+        assert_eq!(eff.framework_startup, nominal.framework_startup);
+        // Slow one of the 17 High phones 2x: the mean shifts by 1/17.
+        let id = mgr
+            .phones()
+            .iter()
+            .find(|p| p.grade() == DeviceGrade::High)
+            .unwrap()
+            .id();
+        let mut slowed = nominal.clone();
+        slowed.train_duration = SimDuration::from_secs_f64(nominal.beta().as_secs_f64() * 2.0);
+        mgr.phone_mut(id).unwrap().set_profile(slowed).unwrap();
+        let eff = mgr.effective_profile(DeviceGrade::High);
+        let expected = nominal.beta().as_secs_f64() * (16.0 + 2.0) / 17.0;
+        assert!((eff.train_duration.as_secs_f64() - expected).abs() < 1e-6);
+        // Unknown-grade fleets fall back to the nominal profile.
+        let empty = PhoneMgr::new(SimDuration::from_secs(1));
+        assert_eq!(
+            empty.effective_profile(DeviceGrade::Low).train_duration,
+            PhoneProfile::low().train_duration
+        );
     }
 
     #[test]

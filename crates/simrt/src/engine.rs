@@ -195,37 +195,59 @@ impl<W: World> Engine<W> {
 /// Priority queue ordered by `(time, insertion sequence)`.
 ///
 /// The sequence number guarantees FIFO order among simultaneous events,
-/// which is what makes runs deterministic.
+/// which is what makes runs deterministic. Public so that schedulers built
+/// on top of the engine (and the property-test suite) can exercise the
+/// ordering contract directly.
 #[derive(Debug)]
-struct EventQueue<E> {
+pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     seq: u64,
 }
 
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
 impl<E> EventQueue<E> {
-    fn new() -> Self {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
             seq: 0,
         }
     }
 
-    fn push(&mut self, at: SimInstant, event: E) {
+    /// Enqueues `event` at instant `at`.
+    pub fn push(&mut self, at: SimInstant, event: E) {
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Entry { at, seq, event });
     }
 
-    fn pop(&mut self) -> Option<(SimInstant, E)> {
+    /// Pops the earliest `(time, insertion order)` event.
+    pub fn pop(&mut self) -> Option<(SimInstant, E)> {
         self.heap.pop().map(|e| (e.at, e.event))
     }
 
-    fn peek_time(&self) -> Option<SimInstant> {
+    /// Timestamp of the earliest pending event.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimInstant> {
         self.heap.peek().map(|e| e.at)
     }
 
-    fn len(&self) -> usize {
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
         self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
     }
 }
 

@@ -40,6 +40,6 @@ pub mod engine;
 pub mod rng;
 pub mod series;
 
-pub use engine::{Engine, EngineCtx, World};
+pub use engine::{Engine, EngineCtx, EventQueue, World};
 pub use rng::{derive_seed, RngStream, SplitMix64};
 pub use series::{pearson_correlation, Counter, Histogram, SeriesStats, TimeSeries};

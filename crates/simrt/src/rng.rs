@@ -165,6 +165,20 @@ impl RngStream {
         }
     }
 
+    /// Exponential draw with the given mean — the inter-arrival sampler
+    /// for Poisson processes (the zero-guard keeps `ln` finite).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not positive and finite.
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "exponential mean must be positive, got {mean}"
+        );
+        -self.uniform().max(f64::MIN_POSITIVE).ln() * mean
+    }
+
     /// Standard normal draw (Box–Muller).
     pub fn std_normal(&mut self) -> f64 {
         // Resample u1 to avoid ln(0).
@@ -351,6 +365,16 @@ mod tests {
         let var = draws.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
         assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
         assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn exp_mean_matches_parameter() {
+        let mut rng = RngStream::from_seed(19);
+        let n = 50_000;
+        let draws: Vec<f64> = (0..n).map(|_| rng.exp(2.5)).collect();
+        assert!(draws.iter().all(|&x| x >= 0.0 && x.is_finite()));
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        assert!((mean - 2.5).abs() < 0.05, "mean {mean}");
     }
 
     #[test]

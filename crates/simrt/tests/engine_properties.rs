@@ -1,0 +1,131 @@
+//! Property tests for the deterministic event engine.
+//!
+//! These pin the three contracts every SimDC subsystem leans on:
+//!
+//! 1. [`EventQueue`] pops events in non-decreasing time order, whatever
+//!    order they were pushed in;
+//! 2. events scheduled at the same instant pop in FIFO (insertion) order;
+//! 3. an [`Engine`] run seeded the same way twice produces byte-identical
+//!    event traces, including follow-up events scheduled from handlers.
+
+use proptest::prelude::*;
+use simdc_simrt::{derive_seed, Engine, EngineCtx, EventQueue, RngStream, World};
+use simdc_types::{SimDuration, SimInstant};
+
+fn times() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..500, 1..64)
+}
+
+proptest! {
+    #[test]
+    fn queue_pops_in_nondecreasing_time_order(micros in times()) {
+        let mut queue = EventQueue::new();
+        for (i, &t) in micros.iter().enumerate() {
+            queue.push(SimInstant::from_micros(t), i);
+        }
+        prop_assert_eq!(queue.len(), micros.len());
+        let mut last = SimInstant::EPOCH;
+        let mut popped = 0usize;
+        while let Some((at, _)) = queue.pop() {
+            prop_assert!(at >= last, "event at {} popped after {}", at, last);
+            last = at;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, micros.len());
+        prop_assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn queue_breaks_time_ties_fifo(micros in times()) {
+        // Collapse every draw onto few distinct instants to force ties.
+        let mut queue = EventQueue::new();
+        for (i, &t) in micros.iter().enumerate() {
+            queue.push(SimInstant::from_micros(t % 4), i);
+        }
+        let mut last: Option<(SimInstant, usize)> = None;
+        while let Some((at, payload)) = queue.pop() {
+            if let Some((prev_at, prev_payload)) = last {
+                prop_assert!(at >= prev_at);
+                if at == prev_at {
+                    prop_assert!(
+                        payload > prev_payload,
+                        "tie at {} popped {} before {}",
+                        at,
+                        prev_payload,
+                        payload
+                    );
+                }
+            }
+            last = Some((at, payload));
+        }
+    }
+
+    #[test]
+    fn queue_matches_stable_sort_reference(micros in times()) {
+        // The queue's full output must equal a stable sort by time of the
+        // insertion sequence — the strongest statement of both properties.
+        let mut queue = EventQueue::new();
+        let mut reference: Vec<(u64, usize)> = Vec::new();
+        for (i, &t) in micros.iter().enumerate() {
+            queue.push(SimInstant::from_micros(t), i);
+            reference.push((t, i));
+        }
+        reference.sort_by_key(|&(t, _)| t); // sort_by_key is stable
+        let mut popped = Vec::new();
+        while let Some((at, payload)) = queue.pop() {
+            popped.push((at.as_micros(), payload));
+        }
+        prop_assert_eq!(popped, reference);
+    }
+
+    #[test]
+    fn same_seed_engine_runs_produce_identical_traces(
+        seed in 0u64..1_000_000,
+        initial in proptest::collection::vec((0u64..200, 0u32..8), 1..24),
+    ) {
+        let run = |seed: u64| -> Vec<(u64, u32)> {
+            let mut engine = Engine::new(Chaotic::new(seed));
+            for &(t, tag) in &initial {
+                engine.schedule_in(SimDuration::from_micros(t), tag);
+            }
+            // Watchdog bound: each event spawns at most one follow-up with
+            // decreasing fuel, so the run always terminates well below it.
+            engine.run_steps(10_000);
+            engine.into_world().trace
+        };
+        let a = run(seed);
+        let b = run(seed);
+        prop_assert_eq!(a, b);
+    }
+}
+
+/// A world whose handlers draw from a named RNG stream and schedule
+/// follow-up events — the same shape as a real scenario world, so the
+/// determinism property covers handler-scheduled events too.
+struct Chaotic {
+    rng: RngStream,
+    fuel: u32,
+    trace: Vec<(u64, u32)>,
+}
+
+impl Chaotic {
+    fn new(seed: u64) -> Self {
+        Chaotic {
+            rng: RngStream::from_seed(derive_seed(seed, "proptest/chaotic")),
+            fuel: 64,
+            trace: Vec::new(),
+        }
+    }
+}
+
+impl World for Chaotic {
+    type Event = u32;
+    fn handle(&mut self, ctx: &mut EngineCtx<'_, u32>, tag: u32) {
+        self.trace.push((ctx.now().as_micros(), tag));
+        if self.fuel > 0 && self.rng.chance(0.5) {
+            self.fuel -= 1;
+            let delay = SimDuration::from_micros(self.rng.index(50) as u64);
+            ctx.schedule_in(delay, tag.wrapping_add(1));
+        }
+    }
+}

@@ -1,0 +1,573 @@
+//! Named workload scenarios and the engine that executes them.
+//!
+//! A [`Scenario`] composes an [`ArrivalProcess`], a [`TaskTemplate`] and
+//! [`FleetDynamics`] over a time horizon. [`Scenario::run`] pre-samples the
+//! stochastic schedules from the scenario seed, then replays them through
+//! the deterministic [`simdc_simrt::Engine`] event loop: task arrivals,
+//! phone crashes and reboots are all events in one queue, and a recurring
+//! dispatch event advances the [`Platform`] in admission waves.
+//!
+//! Everything downstream of the seed is deterministic: same seed ⇒
+//! byte-identical [`ScenarioSummary`] JSON; different seed ⇒ different
+//! arrivals (exposed via `arrival_preview_secs`).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+use simdc_core::{Platform, PlatformConfig, TaskSpec, TaskState};
+use simdc_data::CtrDataset;
+use simdc_simrt::{Engine, EngineCtx, RngStream, World};
+use simdc_types::{Result, SimDuration, SimInstant, SimdcError, TaskId};
+
+use crate::arrival::ArrivalProcess;
+use crate::fleet::{FleetDynamics, FleetEvent};
+use crate::template::TaskTemplate;
+
+/// A named, self-contained workload description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Scenario name (doubles as the JSON key and RNG stream label).
+    pub name: String,
+    /// One-line description for reports.
+    pub description: String,
+    /// Arrival horizon: tasks arrive in `[0, horizon)`; the run then
+    /// drains.
+    pub horizon: SimDuration,
+    /// Period of the dispatch event that admits queued work in waves.
+    pub dispatch_interval: SimDuration,
+    /// Task arrival process.
+    pub arrivals: ArrivalProcess,
+    /// Task generator.
+    pub template: TaskTemplate,
+    /// Fleet perturbations.
+    pub fleet: FleetDynamics,
+}
+
+impl Scenario {
+    /// Validates the scenario and its components.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidConfig` for an empty name, zero horizon/interval, or
+    /// any invalid component.
+    pub fn validate(&self) -> Result<()> {
+        use SimdcError::InvalidConfig;
+        if self.name.is_empty() {
+            return Err(InvalidConfig("scenario name must not be empty".into()));
+        }
+        if self.horizon.is_zero() {
+            return Err(InvalidConfig("scenario horizon must be positive".into()));
+        }
+        if self.dispatch_interval.is_zero() {
+            return Err(InvalidConfig("dispatch interval must be positive".into()));
+        }
+        self.arrivals.validate()?;
+        self.template.validate()?;
+        self.fleet.validate()
+    }
+
+    /// Returns a copy with the horizon scaled by `factor` (quick-profile
+    /// runs shrink scenarios this way).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not in `(0, 1]`.
+    #[must_use]
+    pub fn scaled(mut self, factor: f64) -> Self {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "scale factor must be in (0, 1], got {factor}"
+        );
+        self.horizon = SimDuration::from_secs_f64(self.horizon.as_secs_f64() * factor);
+        self
+    }
+
+    /// Executes the scenario against a fresh platform and returns its
+    /// summary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario fails [`Scenario::validate`].
+    #[must_use]
+    pub fn run(
+        &self,
+        config: PlatformConfig,
+        dataset: &Arc<CtrDataset>,
+        seed: u64,
+    ) -> ScenarioSummary {
+        self.validate().expect("scenario must be valid");
+        let mut rng = RngStream::named(seed, &format!("scenario/{}", self.name));
+        let mut platform = Platform::new(config);
+
+        // Pre-sample every stochastic schedule from the scenario seed.
+        let offsets = self
+            .arrivals
+            .sample(self.horizon, &mut rng.fork("arrivals"));
+        let mut template_rng = rng.fork("templates");
+        let specs: Vec<TaskSpec> = offsets
+            .iter()
+            .enumerate()
+            .map(|(i, _)| {
+                self.template
+                    .instantiate(TaskId(i as u64 + 1), &mut template_rng)
+            })
+            .collect();
+        let stragglers = self
+            .fleet
+            .apply_stragglers(platform.phones_mut(), &mut rng.fork("stragglers"));
+        let crashes =
+            self.fleet
+                .sample_crashes(platform.phones(), self.horizon, &mut rng.fork("churn"));
+
+        // Replay the schedules through the deterministic event loop.
+        let mut engine = Engine::new(ScenarioWorld {
+            platform,
+            dataset: Arc::clone(dataset),
+            dispatch_interval: self.dispatch_interval,
+            reboot_after: self.fleet.reboot_after,
+            arrivals: BTreeMap::new(),
+            submitted: Vec::new(),
+            rejected: 0,
+            completed: 0,
+            crashes: 0,
+            reboots: 0,
+        });
+        for (offset, spec) in offsets.iter().zip(specs) {
+            engine.schedule_in(*offset, Ev::Arrival(Box::new(spec)));
+        }
+        for (offset, event) in &crashes {
+            engine.schedule_in(*offset, Ev::Fleet(*event));
+        }
+        engine.schedule_in(self.dispatch_interval, Ev::Dispatch);
+        engine.run();
+
+        let world = engine.into_world();
+        summarize(self, seed, &offsets, world, stragglers)
+    }
+}
+
+/// The event alphabet of a scenario run.
+enum Ev {
+    /// A task arrives and is submitted to the platform queue.
+    Arrival(Box<TaskSpec>),
+    /// A fleet perturbation fires.
+    Fleet(FleetEvent),
+    /// Admission wave: sync the platform clock and run queued work.
+    Dispatch,
+}
+
+/// Platform + bookkeeping driven by the event loop.
+struct ScenarioWorld {
+    platform: Platform,
+    dataset: Arc<CtrDataset>,
+    dispatch_interval: SimDuration,
+    reboot_after: SimDuration,
+    arrivals: BTreeMap<TaskId, SimInstant>,
+    submitted: Vec<TaskId>,
+    rejected: u64,
+    completed: u64,
+    crashes: u64,
+    reboots: u64,
+}
+
+impl World for ScenarioWorld {
+    type Event = Ev;
+
+    fn handle(&mut self, ctx: &mut EngineCtx<'_, Ev>, event: Ev) {
+        match event {
+            Ev::Arrival(spec) => {
+                let id = spec.id;
+                match self.platform.submit(*spec, Arc::clone(&self.dataset)) {
+                    Ok(_) => {
+                        self.arrivals.insert(id, ctx.now());
+                        self.submitted.push(id);
+                    }
+                    Err(_) => self.rejected += 1,
+                }
+            }
+            Ev::Fleet(FleetEvent::Crash(id)) => {
+                if let Some(phone) = self.platform.phones_mut().phone_mut(id) {
+                    if !phone.is_crashed(ctx.now()) {
+                        phone.inject_crash(ctx.now());
+                        self.crashes += 1;
+                        ctx.schedule_in(self.reboot_after, Ev::Fleet(FleetEvent::Reboot(id)));
+                    }
+                }
+            }
+            Ev::Fleet(FleetEvent::Reboot(id)) => {
+                if let Some(phone) = self.platform.phones_mut().phone_mut(id) {
+                    if phone.is_crashed(ctx.now()) {
+                        phone.reboot();
+                        self.reboots += 1;
+                    }
+                }
+            }
+            Ev::Dispatch => {
+                self.platform.advance_clock_to(ctx.now());
+                self.completed += self.platform.run_until_idle() as u64;
+                // Keep dispatching while anything else (arrivals, crashes,
+                // reboots) is still on the timeline; the wave with an empty
+                // queue is the final drain.
+                if ctx.pending() > 0 {
+                    ctx.schedule_in(self.dispatch_interval, Ev::Dispatch);
+                }
+            }
+        }
+    }
+}
+
+/// Aggregated outcome of one scenario run — everything the summary JSON
+/// contains. Field order is fixed, so same-seed runs serialize to
+/// byte-identical JSON.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSummary {
+    /// Scenario name.
+    pub scenario: String,
+    /// Seed the run derived every stream from.
+    pub seed: u64,
+    /// Arrival horizon in seconds.
+    pub horizon_secs: f64,
+    /// Sampled arrivals within the horizon.
+    pub arrivals: u64,
+    /// Tasks accepted into the queue.
+    pub submitted: u64,
+    /// Tasks rejected at submission.
+    pub rejected: u64,
+    /// Tasks that ran to completion.
+    pub completed: u64,
+    /// Tasks that terminally failed (starved or crashed substrate).
+    pub failed: u64,
+    /// Phone crashes injected.
+    pub crashes: u64,
+    /// Phone reboots executed.
+    pub reboots: u64,
+    /// Phones slowed at scenario start.
+    pub stragglers: u64,
+    /// Virtual end-to-end makespan (platform clock at drain), seconds.
+    pub makespan_secs: f64,
+    /// Mean queueing delay (submission → start) of completed tasks,
+    /// seconds.
+    pub mean_wait_secs: f64,
+    /// Worst queueing delay, seconds.
+    pub max_wait_secs: f64,
+    /// Mean execution span (start → finish) of completed tasks, seconds.
+    pub mean_run_secs: f64,
+    /// Mean final-round test accuracy across completed tasks.
+    pub mean_final_accuracy: f64,
+    /// First arrival offsets (seconds) — a compact fingerprint proving
+    /// different seeds yield different workloads.
+    pub arrival_preview_secs: Vec<f64>,
+}
+
+fn summarize(
+    scenario: &Scenario,
+    seed: u64,
+    offsets: &[SimDuration],
+    world: ScenarioWorld,
+    stragglers: u64,
+) -> ScenarioSummary {
+    let mut waits: Vec<f64> = Vec::new();
+    let mut runs: Vec<f64> = Vec::new();
+    let mut accuracies: Vec<f64> = Vec::new();
+    let mut failed = 0u64;
+    for id in &world.submitted {
+        match world.platform.task_state(*id) {
+            Some(TaskState::Completed {
+                started_at,
+                finished_at,
+            }) => {
+                let arrival = world.arrivals[id];
+                waits.push(started_at.saturating_duration_since(arrival).as_secs_f64());
+                runs.push(finished_at.duration_since(*started_at).as_secs_f64());
+                if let Some(report) = world.platform.report(*id) {
+                    accuracies.push(report.final_accuracy());
+                }
+            }
+            Some(TaskState::Failed { .. }) => failed += 1,
+            // A drained run leaves nothing pending/running; count any
+            // leftovers as failures rather than hiding them.
+            _ => failed += 1,
+        }
+    }
+    let mean = |xs: &[f64]| {
+        if xs.is_empty() {
+            0.0
+        } else {
+            xs.iter().sum::<f64>() / xs.len() as f64
+        }
+    };
+    ScenarioSummary {
+        scenario: scenario.name.clone(),
+        seed,
+        horizon_secs: scenario.horizon.as_secs_f64(),
+        arrivals: offsets.len() as u64,
+        submitted: world.submitted.len() as u64,
+        rejected: world.rejected,
+        completed: world.completed,
+        failed,
+        crashes: world.crashes,
+        reboots: world.reboots,
+        stragglers,
+        makespan_secs: world
+            .platform
+            .status()
+            .now
+            .duration_since(SimInstant::EPOCH)
+            .as_secs_f64(),
+        mean_wait_secs: mean(&waits),
+        max_wait_secs: waits.iter().copied().fold(0.0, f64::max),
+        mean_run_secs: mean(&runs),
+        mean_final_accuracy: mean(&accuracies),
+        arrival_preview_secs: offsets.iter().take(8).map(|d| d.as_secs_f64()).collect(),
+    }
+}
+
+/// The built-in scenario library: the six workloads `cargo run --bin
+/// scenarios` exercises. Each stresses a different axis — steady load,
+/// time-varying load, flash crowds, fleet churn, stragglers and
+/// benchmark-phone outages.
+#[must_use]
+pub fn library() -> Vec<Scenario> {
+    let mins = SimDuration::from_mins;
+    let base_template = TaskTemplate::default();
+    vec![
+        Scenario {
+            name: "steady_poisson".into(),
+            description: "memoryless constant-rate submissions; the capacity baseline".into(),
+            horizon: mins(30),
+            dispatch_interval: mins(2),
+            arrivals: ArrivalProcess::Poisson { rate_per_min: 0.7 },
+            template: base_template.clone(),
+            fleet: FleetDynamics::calm(),
+        },
+        Scenario {
+            name: "diurnal_cycle".into(),
+            description: "sinusoidal day/night load riding one full period".into(),
+            horizon: mins(40),
+            dispatch_interval: mins(2),
+            arrivals: ArrivalProcess::Diurnal {
+                mean_per_min: 0.6,
+                amplitude_per_min: 0.5,
+                period: mins(40),
+            },
+            template: base_template.clone(),
+            fleet: FleetDynamics::calm(),
+        },
+        Scenario {
+            name: "flash_crowd".into(),
+            description: "low background traffic punctuated by 8x burst windows".into(),
+            horizon: mins(30),
+            dispatch_interval: mins(2),
+            arrivals: ArrivalProcess::Bursty {
+                base_per_min: 0.25,
+                burst_multiplier: 8.0,
+                burst_every: mins(15),
+                burst_len: mins(2),
+            },
+            template: base_template.clone(),
+            fleet: FleetDynamics::calm(),
+        },
+        Scenario {
+            name: "phone_churn".into(),
+            description: "steady load while phones crash and reboot across the fleet".into(),
+            horizon: mins(30),
+            dispatch_interval: mins(2),
+            arrivals: ArrivalProcess::Poisson { rate_per_min: 0.6 },
+            template: base_template.clone(),
+            fleet: FleetDynamics {
+                mean_time_between_crashes: Some(mins(4)),
+                reboot_after: mins(3),
+                ..FleetDynamics::calm()
+            },
+        },
+        Scenario {
+            name: "straggler_fleet".into(),
+            description: "40% of phones run 2.5x slower from the start".into(),
+            horizon: mins(30),
+            dispatch_interval: mins(2),
+            arrivals: ArrivalProcess::Poisson { rate_per_min: 0.6 },
+            template: TaskTemplate {
+                // Half of each task's devices run on phones, so the slowed
+                // fleet actually stretches round times.
+                allocation: simdc_core::AllocationPolicy::FixedLogicalFraction(0.5),
+                ..base_template.clone()
+            },
+            fleet: FleetDynamics {
+                straggler_frac: 0.4,
+                straggler_slowdown: 2.5,
+                ..FleetDynamics::calm()
+            },
+        },
+        Scenario {
+            name: "benchmark_outage".into(),
+            description: "benchmark-measuring tasks while local phones (the preferred \
+                          benchmark pool) keep crashing"
+                .into(),
+            horizon: mins(30),
+            dispatch_interval: mins(2),
+            arrivals: ArrivalProcess::Superpose(vec![
+                ArrivalProcess::Poisson { rate_per_min: 0.4 },
+                ArrivalProcess::Bursty {
+                    base_per_min: 0.1,
+                    burst_multiplier: 6.0,
+                    burst_every: mins(12),
+                    burst_len: mins(2),
+                },
+            ]),
+            template: TaskTemplate {
+                benchmark_phones: 1,
+                ..base_template
+            },
+            fleet: FleetDynamics {
+                mean_time_between_crashes: Some(mins(3)),
+                reboot_after: mins(4),
+                target_local: true,
+                ..FleetDynamics::calm()
+            },
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simdc_data::GeneratorConfig;
+
+    fn dataset() -> Arc<CtrDataset> {
+        Arc::new(CtrDataset::generate(&GeneratorConfig {
+            n_devices: 40,
+            n_test_devices: 8,
+            mean_records_per_device: 15.0,
+            feature_dim: 1 << 12,
+            seed: 55,
+            ..GeneratorConfig::default()
+        }))
+    }
+
+    fn tiny(name: &str) -> Scenario {
+        Scenario {
+            name: name.into(),
+            description: "test".into(),
+            horizon: SimDuration::from_mins(6),
+            dispatch_interval: SimDuration::from_mins(2),
+            arrivals: ArrivalProcess::Poisson { rate_per_min: 0.5 },
+            template: TaskTemplate {
+                rounds: (1, 2),
+                devices_per_grade: (6, 12),
+                ..TaskTemplate::default()
+            },
+            fleet: FleetDynamics::calm(),
+        }
+    }
+
+    #[test]
+    fn run_is_seed_deterministic_to_the_byte() {
+        let scenario = tiny("determinism");
+        let data = dataset();
+        let a = scenario.run(PlatformConfig::default(), &data, 42);
+        let b = scenario.run(PlatformConfig::default(), &data, 42);
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+    }
+
+    #[test]
+    fn different_seeds_change_the_arrivals() {
+        let scenario = tiny("seeds");
+        let data = dataset();
+        let a = scenario.run(PlatformConfig::default(), &data, 1);
+        let b = scenario.run(PlatformConfig::default(), &data, 2);
+        assert_ne!(
+            a.arrival_preview_secs, b.arrival_preview_secs,
+            "seed must steer the arrival process"
+        );
+    }
+
+    #[test]
+    fn tasks_arrive_queue_and_complete() {
+        let scenario = tiny("lifecycle");
+        let data = dataset();
+        let summary = scenario.run(PlatformConfig::default(), &data, 9);
+        assert!(summary.arrivals > 0, "horizon long enough for arrivals");
+        assert_eq!(summary.submitted, summary.arrivals);
+        assert_eq!(summary.completed + summary.failed, summary.submitted);
+        assert!(summary.completed > 0);
+        assert!(summary.makespan_secs > 0.0);
+        assert!(summary.mean_run_secs > 0.0);
+        assert!(summary.mean_final_accuracy > 0.4);
+    }
+
+    #[test]
+    fn churn_injects_and_recovers_phones() {
+        let mut scenario = tiny("churny");
+        scenario.fleet = FleetDynamics {
+            mean_time_between_crashes: Some(SimDuration::from_mins(1)),
+            reboot_after: SimDuration::from_mins(1),
+            ..FleetDynamics::calm()
+        };
+        let data = dataset();
+        let summary = scenario.run(PlatformConfig::default(), &data, 3);
+        assert!(summary.crashes > 0, "{summary:?}");
+        assert!(summary.reboots > 0, "{summary:?}");
+        assert!(summary.reboots <= summary.crashes);
+    }
+
+    #[test]
+    fn straggler_scenario_slows_execution() {
+        // Same name + seed ⇒ identical arrivals and task specs; only the
+        // fleet differs, so the run-time delta is the straggler effect.
+        let calm = tiny("paired");
+        let mut slow = tiny("paired");
+        slow.fleet = FleetDynamics {
+            straggler_frac: 1.0,
+            straggler_slowdown: 3.0,
+            ..FleetDynamics::calm()
+        };
+        // Force phone participation — fully logical tasks would never see
+        // the slowed phones.
+        let half_on_phones = simdc_core::AllocationPolicy::FixedLogicalFraction(0.5);
+        let calm = Scenario {
+            template: TaskTemplate {
+                allocation: half_on_phones,
+                ..calm.template
+            },
+            ..calm
+        };
+        let slow = Scenario {
+            template: TaskTemplate {
+                allocation: half_on_phones,
+                ..slow.template
+            },
+            ..slow
+        };
+        let data = dataset();
+        let fast = calm.run(PlatformConfig::default(), &data, 17);
+        let slowed = slow.run(PlatformConfig::default(), &data, 17);
+        assert_eq!(slowed.stragglers, 30);
+        assert!(
+            slowed.mean_run_secs > fast.mean_run_secs,
+            "stragglers must stretch task execution: {} vs {}",
+            slowed.mean_run_secs,
+            fast.mean_run_secs
+        );
+    }
+
+    #[test]
+    fn library_scenarios_validate() {
+        let lib = library();
+        assert_eq!(lib.len(), 6);
+        let mut names = std::collections::BTreeSet::new();
+        for scenario in &lib {
+            scenario.validate().unwrap();
+            assert!(names.insert(scenario.name.clone()), "duplicate name");
+        }
+    }
+
+    #[test]
+    fn scaled_shrinks_horizon() {
+        let scenario = tiny("scaling").scaled(0.5);
+        assert_eq!(scenario.horizon, SimDuration::from_mins(3));
+    }
+}

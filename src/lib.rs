@@ -25,6 +25,7 @@
 //! | [`phone`] | `simdc-phone` | PhoneMgr, ADB emulation, power/CPU/memory models |
 //! | [`deviceflow`] | `simdc-deviceflow` | Sorter/Shelf/Dispatcher/Strategy traffic control |
 //! | [`platform`] | `simdc-core` | task manager, scheduler, allocation optimizer, cloud |
+//! | [`workload`] | `simdc-workload` | scenario engine: arrival processes, task templates, fleet dynamics |
 //! | [`baselines`] | `simdc-baselines` | FedScale-like / FederatedScope-like comparators |
 //!
 //! # Quickstart
@@ -73,6 +74,7 @@ pub use simdc_ml as ml;
 pub use simdc_phone as phone;
 pub use simdc_simrt as simrt;
 pub use simdc_types as types;
+pub use simdc_workload as workload;
 
 /// The most commonly used items in one import.
 pub mod prelude {
@@ -86,5 +88,8 @@ pub mod prelude {
     pub use simdc_phone::{PhoneMgr, PhoneProfile, Stage};
     pub use simdc_types::{
         DeviceGrade, DeviceId, PhoneId, ResourceBundle, SimDuration, SimInstant, SimdcError, TaskId,
+    };
+    pub use simdc_workload::{
+        ArrivalProcess, FleetDynamics, Scenario, ScenarioSummary, TaskTemplate,
     };
 }
