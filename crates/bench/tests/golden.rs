@@ -17,6 +17,15 @@
 //! ```
 //!
 //! and call the drift out in the PR.
+//!
+//! Note on the event-driven platform core: rebuilding the platform loop
+//! (completions as events, per-completion admission) left these fixtures
+//! byte-identical on purpose. Both experiments submit a single task to an
+//! idle platform, so admission still happens at the same clock instant,
+//! and the runner's plan→commit split preserves the exact operation and
+//! RNG-draw order of the old single-shot execution. Multi-task queueing
+//! delays did change (they shrank — that was the point), but nothing
+//! golden-pinned measures those.
 
 use simdc_bench::ExpOptions;
 

@@ -16,7 +16,13 @@
 //! * [`runner`] — the Task Runner: executes the multi-round operator flow
 //!   over hybrid resources, routes messages through DeviceFlow, trains real
 //!   models with the dual numeric kernels, and aggregates with FedAvg.
-//! * [`platform`] — the façade tying everything together.
+//!   Execution is split into a *plan* phase (compute the per-round
+//!   timeline, reserve benchmark phones) and a *commit* phase (take the
+//!   measurements), so the platform can schedule completions as events.
+//! * [`platform`] — the façade tying everything together on the
+//!   [`simdc_simrt`] discrete-event queue: completions are events,
+//!   resources release at each task's actual completion instant, and the
+//!   scheduler re-runs on every completion and arrival.
 //!
 //! # Examples
 //!
@@ -61,7 +67,7 @@ pub use cloud::{AggregationTrigger, RoundOutcome, Storage};
 pub use platform::{Platform, PlatformConfig, PlatformStatus, SourceRunStats, SubmissionSource};
 pub use queue::{TaskQueue, TaskRecord, TaskState};
 pub use resources::{ResourceClaim, ResourceManager};
-pub use runner::{RoundReport, RunnerConfig, TaskReport, TaskRunner};
+pub use runner::{RoundReport, RunnerConfig, TaskPlan, TaskReport, TaskRunner};
 pub use scheduler::GreedyScheduler;
 pub use spec::{
     AllocationPolicy, GradeRequirement, Operator, OperatorFlow, TaskSpec, TaskSpecBuilder,

@@ -7,6 +7,18 @@
 //! [`crate::runner::TaskRunner`] on the virtual timeline, and their
 //! [`TaskReport`]s retained for inspection — the programmatic equivalent of
 //! the paper's GUI monitoring.
+//!
+//! # Event-driven core
+//!
+//! The platform loop is a discrete-event simulation riding the
+//! [`simdc_simrt`] event queue. Admitting a task plans its entire virtual
+//! timeline ([`TaskRunner::plan`]) and schedules a *completion event* at
+//! its `finished_at` instant; popping that event releases the task's
+//! resource lease at the task's actual completion instant and immediately
+//! re-runs the greedy scheduler, so queued work starts the moment capacity
+//! frees — not at the end of an admission wave. [`Platform::run_from_source`]
+//! interleaves arrivals with pending completions on the same timeline,
+//! which is what keeps queueing delays honest under sustained traffic.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -16,12 +28,13 @@ use simdc_cluster::{ClusterConfig, LogicalCluster};
 use simdc_data::CtrDataset;
 use simdc_phone::mgr::FleetSpec;
 use simdc_phone::PhoneMgr;
+use simdc_simrt::EventQueue;
 use simdc_types::{PerGrade, Result, SimDuration, SimInstant, SimdcError, TaskId};
 
 use crate::cloud::Storage;
 use crate::queue::{TaskQueue, TaskState};
 use crate::resources::ResourceManager;
-use crate::runner::{RunnerConfig, TaskReport, TaskRunner};
+use crate::runner::{RunnerConfig, TaskPlan, TaskReport, TaskRunner};
 use crate::scheduler::GreedyScheduler;
 use crate::spec::TaskSpec;
 
@@ -93,6 +106,14 @@ pub struct SourceRunStats {
     pub completed: usize,
 }
 
+/// The platform's internal event alphabet.
+#[derive(Debug)]
+enum PlatformEvent {
+    /// A running task reaches its planned completion instant: commit the
+    /// plan, release the lease, re-run the scheduler.
+    Completion(TaskId),
+}
+
 /// The assembled platform.
 pub struct Platform {
     cluster: LogicalCluster,
@@ -104,9 +125,17 @@ pub struct Platform {
     runner: TaskRunner,
     datasets: HashMap<TaskId, Arc<CtrDataset>>,
     reports: HashMap<TaskId, TaskReport>,
+    /// Planned executions of running tasks, keyed by task; each has a
+    /// matching completion event in `events`.
+    plans: HashMap<TaskId, TaskPlan>,
+    /// Pending completion events on the virtual timeline.
+    events: EventQueue<PlatformEvent>,
+    /// Fleet size the Resource Manager's phone totals were last synced
+    /// against — the cheap change signal that gates the per-grade rescan
+    /// (phones can be registered, never regraded, so a size match means
+    /// the per-grade totals still hold).
+    synced_fleet_size: usize,
     clock: SimInstant,
-    total_bundles: u64,
-    total_phones: PerGrade<u64>,
 }
 
 impl std::fmt::Debug for Platform {
@@ -131,6 +160,7 @@ impl Platform {
         let phones = PhoneMgr::with_fleet(config.fleet, config.poll_interval, config.seed);
         let total_bundles = cluster.free_unit_bundles();
         let total_phones = PerGrade::from_fn(|g| phones.count(g, None) as u64);
+        let total = phones.total();
         Platform {
             cluster,
             phones,
@@ -141,9 +171,10 @@ impl Platform {
             runner: TaskRunner::new(config.runner),
             datasets: HashMap::new(),
             reports: HashMap::new(),
+            plans: HashMap::new(),
+            events: EventQueue::new(),
+            synced_fleet_size: total,
             clock: SimInstant::EPOCH,
-            total_bundles,
-            total_phones,
         }
     }
 
@@ -154,7 +185,15 @@ impl Platform {
     }
 
     /// Submits a task with its dataset. Tasks start when the scheduler
-    /// admits them during [`Platform::run_until_idle`].
+    /// admits them — during [`Platform::run_until_idle`],
+    /// [`Platform::run_until`], or at the first completion event that
+    /// frees their claim.
+    ///
+    /// Feasibility is checked against the *live* fleet: per-grade phone
+    /// totals are recomputed from the phone manager on every submission
+    /// (and the Resource Manager resynced), so fleet churn injectors that
+    /// register or retire phones cannot leave admission decisions keyed to
+    /// a stale construction-time snapshot.
     ///
     /// # Errors
     ///
@@ -162,9 +201,10 @@ impl Platform {
     /// task could never fit the platform's total capacity.
     pub fn submit(&mut self, spec: TaskSpec, dataset: Arc<CtrDataset>) -> Result<TaskId> {
         spec.validate()?;
+        self.sync_fleet_totals();
         if !self
             .scheduler
-            .feasible_at_all(&spec, self.total_bundles, self.total_phones)
+            .feasible_at_all(&spec, self.rm.total_bundles(), self.rm.total_phones())
         {
             return Err(SimdcError::ResourceExhausted {
                 requested: format!("claim of task {}", spec.id),
@@ -177,89 +217,177 @@ impl Platform {
         Ok(id)
     }
 
-    /// Runs the scheduling loop until no task is pending or running:
-    /// admit → execute → release → advance the virtual clock to the next
-    /// completion → repeat. Returns the number of tasks completed.
+    /// Resyncs the Resource Manager's per-grade phone totals with the
+    /// phone manager's current fleet. O(1) when the fleet size is
+    /// unchanged since the last sync — this runs on every scheduling
+    /// pass, so the per-grade rescan must not be paid per completion on
+    /// a static fleet.
+    fn sync_fleet_totals(&mut self) {
+        if self.phones.total() == self.synced_fleet_size {
+            return;
+        }
+        self.synced_fleet_size = self.phones.total();
+        let totals = PerGrade::from_fn(|g| self.phones.count(g, None) as u64);
+        if totals != self.rm.total_phones() {
+            self.rm.set_total_phones(totals);
+        }
+    }
+
+    /// One scheduling pass: admits every pending task whose claim fits,
+    /// plans its execution from the current clock, and schedules its
+    /// completion event. Tasks whose plan fails (e.g. no idle benchmark
+    /// phone) release their lease and fail. Returns the admitted count.
+    ///
+    /// Fleet totals are resynced first, so passes triggered by
+    /// completions (not just submissions) also see phones registered or
+    /// retired through [`Platform::phones_mut`] since the last pass.
+    fn dispatch_pending(&mut self) -> usize {
+        self.sync_fleet_totals();
+        let started = self.scheduler.schedule(&self.queue, &mut self.rm);
+        let mut admitted = 0;
+        for id in started {
+            let start = self.clock;
+            if self.queue.mark_running(id, start).is_err() {
+                // Keep freeze/release strictly paired: the scheduler froze
+                // the claim, so a refused admission must give it back.
+                self.rm.release(id);
+                continue;
+            }
+            let spec = self.queue.get(id).expect("just marked").spec.clone();
+            let dataset = self
+                .datasets
+                .get(&id)
+                .expect("dataset registered at submit")
+                .clone();
+            match self.runner.plan(
+                &spec,
+                &dataset,
+                &mut self.cluster,
+                &mut self.phones,
+                &mut self.storage,
+                start,
+            ) {
+                Ok(plan) => {
+                    self.events
+                        .push(plan.finished_at(), PlatformEvent::Completion(id));
+                    self.plans.insert(id, plan);
+                    admitted += 1;
+                }
+                Err(err) => {
+                    self.rm.release(id);
+                    let _ = self.queue.mark_failed(id, err.to_string());
+                }
+            }
+        }
+        admitted
+    }
+
+    /// Handles one completion event: commits the plan (taking the
+    /// benchmark measurements), releases the lease at the completion
+    /// instant, and records the final state. Returns whether the task
+    /// completed (vs. failed at commit).
+    fn finish(&mut self, id: TaskId, at: SimInstant) -> bool {
+        self.clock = self.clock.max(at);
+        let plan = self.plans.remove(&id).expect("completion without a plan");
+        let committed = self.runner.commit(plan, &mut self.phones);
+        // Release exactly once per freeze, whatever the commit outcome.
+        self.rm.release(id);
+        match committed {
+            Ok(report) => {
+                self.reports.insert(id, report);
+                let _ = self.queue.mark_completed(id, at);
+                true
+            }
+            Err(err) => {
+                let _ = self.queue.mark_failed(id, err.to_string());
+                false
+            }
+        }
+    }
+
+    /// Fails every still-pending task: nothing is running, so no future
+    /// completion can ever free the capacity they are waiting for. Pending
+    /// tasks hold no lease — failing them involves no release.
+    fn fail_starved(&mut self) {
+        for id in self.queue.pending_by_priority() {
+            let _ = self
+                .queue
+                .mark_failed(id, "resources never became available");
+        }
+        self.debug_assert_idle_capacity();
+    }
+
+    /// At idle (no running task, no pending completion) every freeze must
+    /// have been paired with its release: free capacity equals total
+    /// capacity. Catches lease leaks like failing a running task without
+    /// releasing its claim.
+    fn debug_assert_idle_capacity(&self) {
+        debug_assert!(
+            self.rm.fully_free(),
+            "resource lease leak at idle: {} active leases, {}/{} bundles free",
+            self.rm.active_leases(),
+            self.rm.free_bundles(),
+            self.rm.total_bundles(),
+        );
+    }
+
+    /// Runs the event loop until no task is pending or running: every
+    /// completion is an event on the virtual timeline; popping one
+    /// releases that task's resources at its actual completion instant
+    /// and immediately re-runs the scheduler, so queued tasks start at
+    /// the first instant their claim fits. Returns the number of tasks
+    /// completed.
     pub fn run_until_idle(&mut self) -> usize {
         let mut completed = 0usize;
         loop {
-            let started = self.scheduler.schedule(&self.queue, &mut self.rm);
-            if started.is_empty() {
-                // Nothing admissible: if nothing is running either, the
-                // remaining pending tasks are starved — fail them loudly.
-                let (pending, running, _) = self.queue.census();
-                if running == 0 {
-                    if pending > 0 {
-                        for id in self.queue.pending_by_priority() {
-                            self.rm.release(id);
-                            let _ = self
-                                .queue
-                                .mark_failed(id, "resources never became available");
-                        }
+            self.dispatch_pending();
+            match self.events.pop() {
+                Some((at, PlatformEvent::Completion(id))) => {
+                    if self.finish(id, at) {
+                        completed += 1;
                     }
+                }
+                None => {
+                    // Nothing running: whatever is still pending is
+                    // starved — fail it loudly rather than spin.
+                    self.fail_starved();
                     break;
                 }
-            }
-
-            // Execute everything admitted in this wave; their virtual spans
-            // overlap (they hold disjoint frozen resources).
-            let mut completions: Vec<(TaskId, SimInstant)> = Vec::new();
-            for id in started {
-                let start = self.clock;
-                if self.queue.mark_running(id, start).is_err() {
-                    continue;
-                }
-                let spec = self.queue.get(id).expect("just marked").spec.clone();
-                let dataset = self
-                    .datasets
-                    .get(&id)
-                    .expect("dataset registered at submit")
-                    .clone();
-                match self.runner.execute(
-                    &spec,
-                    &dataset,
-                    &mut self.cluster,
-                    &mut self.phones,
-                    &mut self.storage,
-                    start,
-                ) {
-                    Ok(report) => {
-                        let finished = report.finished_at;
-                        self.reports.insert(id, report);
-                        completions.push((id, finished));
-                    }
-                    Err(err) => {
-                        self.rm.release(id);
-                        let _ = self.queue.mark_failed(id, err.to_string());
-                    }
-                }
-            }
-
-            // Release in completion order and advance the clock.
-            completions.sort_by_key(|&(_, at)| at);
-            for (id, at) in completions {
-                self.rm.release(id);
-                let _ = self.queue.mark_completed(id, at);
-                self.clock = self.clock.max(at);
-                completed += 1;
-            }
-
-            let (pending, running, _) = self.queue.census();
-            if pending == 0 && running == 0 {
-                break;
             }
         }
         completed
     }
 
-    /// Drains a [`SubmissionSource`]: tasks arrive over virtual time, queue
-    /// up, and run in admission waves.
+    /// Runs every completion event due at or before `deadline` (admitting
+    /// queued tasks at each freed-capacity instant), then advances the
+    /// clock to `deadline` and runs a final scheduling pass there.
+    /// Completions planned after `deadline` stay queued. Returns the
+    /// number of tasks completed.
     ///
-    /// Wave semantics: the clock jumps to the next arrival, every
-    /// submission due by then is admitted, and the wave runs to idle
-    /// (advancing the clock past its completions) before the next arrival
-    /// is pulled. Tasks arriving while a wave executes therefore start at
-    /// the wave's end — their queueing delay is visible as
+    /// Scenario drivers paced by an outer event loop use this instead of
+    /// [`Platform::run_until_idle`] so the platform never runs ahead of
+    /// the outer timeline.
+    pub fn run_until(&mut self, deadline: SimInstant) -> usize {
+        // Admit at the current clock first: a task submitted to an idle
+        // platform starts now, not at the arbitrary deadline.
+        self.dispatch_pending();
+        let mut completed = 0usize;
+        while let Some((at, PlatformEvent::Completion(id))) = self.events.pop_before(deadline) {
+            if self.finish(id, at) {
+                completed += 1;
+            }
+            self.dispatch_pending();
+        }
+        self.advance_clock_to(deadline);
+        self.dispatch_pending();
+        completed
+    }
+
+    /// Drains a [`SubmissionSource`]: tasks arrive over virtual time,
+    /// queue up, and are admitted *mid-flight* — an arrival is interleaved
+    /// with the completion events due before it, so a task starts at the
+    /// first completion instant that frees its claim instead of waiting
+    /// for a whole admission wave to drain. Queueing delay is visible as
     /// `started_at - arrival`.
     ///
     /// # Panics
@@ -269,33 +397,76 @@ impl Platform {
         let mut stats = SourceRunStats::default();
         let mut last_arrival = SimInstant::EPOCH;
         let mut carried: Option<(SimInstant, TaskSpec, Arc<CtrDataset>)> = None;
-        loop {
-            // Build one wave: the first arrival (possibly carried over
-            // from the previous wave) opens it and jumps the clock; every
-            // further submission due by that clock joins it.
-            let mut wave_open = false;
-            while let Some((at, spec, data)) = carried.take().or_else(|| source.next_submission()) {
+        while let Some((at, spec, data)) = carried.take().or_else(|| source.next_submission()) {
+            assert!(
+                at >= last_arrival,
+                "submission source went back in time ({at} < {last_arrival})"
+            );
+            last_arrival = at;
+            stats.completed += self.sync_to_arrival(at);
+            match self.submit(spec, data) {
+                Ok(_) => stats.submitted += 1,
+                Err(_) => stats.rejected += 1,
+            }
+            // Batch further arrivals at the same instant, so simultaneous
+            // submissions are admitted in one scheduler pass — priority
+            // order, not source order.
+            while let Some((at2, spec2, data2)) = source.next_submission() {
                 assert!(
-                    at >= last_arrival,
-                    "submission source went back in time ({at} < {last_arrival})"
+                    at2 >= at,
+                    "submission source went back in time ({at2} < {at})"
                 );
-                last_arrival = at;
-                if wave_open && at > self.clock {
-                    carried = Some((at, spec, data));
+                if at2 > at {
+                    carried = Some((at2, spec2, data2));
                     break;
                 }
-                self.advance_clock_to(at);
-                wave_open = true;
-                match self.submit(spec, data) {
+                match self.submit(spec2, data2) {
                     Ok(_) => stats.submitted += 1,
                     Err(_) => stats.rejected += 1,
                 }
             }
-            if !wave_open {
-                return stats;
-            }
-            stats.completed += self.run_until_idle();
+            self.dispatch_pending();
         }
+        stats.completed += self.run_until_idle();
+        stats
+    }
+
+    /// Advances the platform to arrival instant `at` with the tie
+    /// discipline [`Platform::run_from_source`] uses: completions
+    /// *strictly before* `at` are processed normally (each re-running the
+    /// scheduler), while completions at exactly `at` release their leases
+    /// *without* a scheduling pass. The caller then submits the arrivals
+    /// due at `at` and calls [`Platform::admit_now`], so one pass sees
+    /// both the freed capacity and the new tasks — priority decides the
+    /// tie, not arrival-vs-completion ordering. Returns the number of
+    /// tasks completed.
+    pub fn sync_to_arrival(&mut self, at: SimInstant) -> usize {
+        let mut completed = 0usize;
+        // Everything completing strictly before the arrival happens
+        // first — including the admissions those completions unlock.
+        while self.events.peek_time().is_some_and(|t| t < at) {
+            let (t, PlatformEvent::Completion(id)) =
+                self.events.pop().expect("peeked event vanished");
+            if self.finish(id, t) {
+                completed += 1;
+            }
+            self.dispatch_pending();
+        }
+        self.advance_clock_to(at);
+        // Completions at exactly the arrival instant: release leases,
+        // defer admission to the caller's post-submit pass.
+        while let Some((t, PlatformEvent::Completion(id))) = self.events.pop_before(at) {
+            if self.finish(id, t) {
+                completed += 1;
+            }
+        }
+        completed
+    }
+
+    /// Runs one scheduling pass at the current clock, admitting every
+    /// pending task whose claim fits. Returns the number admitted.
+    pub fn admit_now(&mut self) -> usize {
+        self.dispatch_pending()
     }
 
     /// Advances the virtual clock to `at` (no-op if the clock is already
@@ -339,13 +510,12 @@ impl Platform {
 
     /// Mutable access to the phone manager — the hook fleet-dynamics
     /// injectors (churn, stragglers, benchmark failures) use to perturb
-    /// the fleet between scheduling waves.
+    /// the fleet between scheduling passes.
     ///
-    /// Invariant: perturb *existing* phones only (crash, reboot, profile
-    /// swaps). Registering or retiring phones through this handle would
-    /// desync the Resource Manager's per-grade totals, which are
-    /// snapshotted at construction; fleet *size* changes belong in
-    /// [`PlatformConfig::fleet`].
+    /// Fleet *size* changes through this handle are tolerated: the
+    /// Resource Manager's per-grade totals are resynced from the phone
+    /// manager on every submission, so admission feasibility always sees
+    /// the live fleet rather than a construction-time snapshot.
     pub fn phones_mut(&mut self) -> &mut PhoneMgr {
         &mut self.phones
     }

@@ -1,6 +1,7 @@
 //! The task queue and task lifecycle states.
 
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet};
 
 use serde::{Deserialize, Serialize};
 use simdc_types::{Result, SimInstant, SimdcError, TaskId};
@@ -62,11 +63,20 @@ pub struct TaskRecord {
     pub submitted_seq: u64,
 }
 
+/// Index key ordering pending tasks by `(priority desc, submission asc)`.
+type PendingKey = (Reverse<u32>, u64, TaskId);
+
 /// The Task Queue of §III-B: ordered by priority (descending) with FIFO
 /// tie-break.
+///
+/// The scan order is maintained incrementally: `pending` holds one key per
+/// pending task, inserted on submit and removed on the transition out of
+/// `Pending`, so a scheduling pass is an ordered walk instead of an
+/// O(n log n) collect-and-sort over every record.
 #[derive(Debug, Default)]
 pub struct TaskQueue {
     records: BTreeMap<TaskId, TaskRecord>,
+    pending: BTreeSet<PendingKey>,
     next_seq: u64,
 }
 
@@ -93,6 +103,7 @@ impl TaskQueue {
         }
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.pending.insert((Reverse(spec.priority), seq, spec.id));
         self.records.insert(
             spec.id,
             TaskRecord {
@@ -110,39 +121,33 @@ impl TaskQueue {
         self.records.get(&id)
     }
 
-    /// Mutable record access.
-    pub fn get_mut(&mut self, id: TaskId) -> Option<&mut TaskRecord> {
-        self.records.get_mut(&id)
-    }
+    // No public mutable record access: the incremental pending index is
+    // keyed by (priority, seq, id), so out-of-band mutation of a record's
+    // spec or state would silently desync it. All lifecycle transitions go
+    // through the mark_* methods, which maintain the index.
 
     /// Pending tasks ordered by `(priority desc, submission asc)` — the
-    /// order the greedy scheduler scans.
+    /// order the greedy scheduler scans. A plain walk of the incremental
+    /// index; no per-call sorting.
     #[must_use]
     pub fn pending_by_priority(&self) -> Vec<TaskId> {
-        let mut pending: Vec<&TaskRecord> = self
-            .records
-            .values()
-            .filter(|r| r.state.is_pending())
-            .collect();
-        pending.sort_by(|a, b| {
-            b.spec
-                .priority
-                .cmp(&a.spec.priority)
-                .then(a.submitted_seq.cmp(&b.submitted_seq))
-        });
-        pending.iter().map(|r| r.spec.id).collect()
+        self.iter_pending().collect()
+    }
+
+    /// Iterates pending task ids in `(priority desc, submission asc)`
+    /// order without allocating.
+    pub fn iter_pending(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.pending.iter().map(|&(_, _, id)| id)
     }
 
     /// Number of tasks in each broad state: `(pending, running, terminal)`.
     #[must_use]
     pub fn census(&self) -> (usize, usize, usize) {
-        let mut counts = (0, 0, 0);
+        let mut counts = (self.pending.len(), 0, 0);
         for r in self.records.values() {
-            if r.state.is_pending() {
-                counts.0 += 1;
-            } else if r.state.is_running() {
+            if r.state.is_running() {
                 counts.1 += 1;
-            } else {
+            } else if r.state.is_terminal() {
                 counts.2 += 1;
             }
         }
@@ -165,6 +170,8 @@ impl TaskQueue {
                 "task {id} is not pending"
             )));
         }
+        self.pending
+            .remove(&(Reverse(record.spec.priority), record.submitted_seq, id));
         record.state = TaskState::Running { started_at: at };
         Ok(())
     }
@@ -198,12 +205,22 @@ impl TaskQueue {
     ///
     /// # Errors
     ///
-    /// Returns [`SimdcError::TaskNotFound`] for unknown ids.
+    /// Returns [`SimdcError::TaskNotFound`] for unknown ids and
+    /// `InvalidConfig` for tasks already in a terminal state — a
+    /// `Completed` (or `Failed`) record is immutable history and must not
+    /// be clobbered.
     pub fn mark_failed(&mut self, id: TaskId, reason: impl Into<String>) -> Result<()> {
         let record = self
             .records
             .get_mut(&id)
             .ok_or(SimdcError::TaskNotFound(id))?;
+        if record.state.is_terminal() {
+            return Err(SimdcError::InvalidConfig(format!(
+                "task {id} is already terminal"
+            )));
+        }
+        self.pending
+            .remove(&(Reverse(record.spec.priority), record.submitted_seq, id));
         record.state = TaskState::Failed {
             reason: reason.into(),
         };
@@ -279,6 +296,53 @@ mod tests {
             .unwrap();
         assert!(q.get(TaskId(1)).unwrap().state.is_terminal());
         assert!(q.mark_failed(TaskId(9), "x").is_err());
+        assert!(q.pending_by_priority().is_empty(), "failed task left index");
+    }
+
+    #[test]
+    fn mark_failed_rejects_terminal_states() {
+        let mut q = TaskQueue::new();
+        q.submit(spec(1, 0)).unwrap();
+        q.mark_running(TaskId(1), SimInstant::EPOCH).unwrap();
+        let t1 = SimInstant::EPOCH + simdc_types::SimDuration::from_secs(5);
+        q.mark_completed(TaskId(1), t1).unwrap();
+        // A completed record must not be clobbered to Failed.
+        assert!(q.mark_failed(TaskId(1), "late failure").is_err());
+        assert!(matches!(
+            q.get(TaskId(1)).unwrap().state,
+            TaskState::Completed { .. }
+        ));
+        // Failed is terminal too: no double-fail with a new reason.
+        q.submit(spec(2, 0)).unwrap();
+        q.mark_failed(TaskId(2), "first reason").unwrap();
+        assert!(q.mark_failed(TaskId(2), "second reason").is_err());
+        match &q.get(TaskId(2)).unwrap().state {
+            TaskState::Failed { reason } => assert_eq!(reason, "first reason"),
+            other => panic!("unexpected state {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pending_index_tracks_state_transitions() {
+        let mut q = TaskQueue::new();
+        for (id, priority) in [(1u64, 3u32), (2, 7), (3, 7), (4, 1)] {
+            q.submit(spec(id, priority)).unwrap();
+        }
+        assert_eq!(
+            q.pending_by_priority(),
+            vec![TaskId(2), TaskId(3), TaskId(1), TaskId(4)]
+        );
+        q.mark_running(TaskId(3), SimInstant::EPOCH).unwrap();
+        assert_eq!(
+            q.pending_by_priority(),
+            vec![TaskId(2), TaskId(1), TaskId(4)]
+        );
+        q.mark_failed(TaskId(1), "boom").unwrap();
+        assert_eq!(q.pending_by_priority(), vec![TaskId(2), TaskId(4)]);
+        // The allocation-free iterator walks the same order.
+        let scanned: Vec<TaskId> = q.iter_pending().collect();
+        assert_eq!(scanned, q.pending_by_priority());
+        assert_eq!(q.census().0, 2);
     }
 
     #[test]

@@ -57,10 +57,56 @@ impl ResourceManager {
         self.free_bundles
     }
 
+    /// Total unit bundles (free + frozen).
+    #[must_use]
+    pub fn total_bundles(&self) -> u64 {
+        self.total_bundles
+    }
+
     /// Free phones of a grade.
     #[must_use]
     pub fn free_phones(&self, grade: DeviceGrade) -> u64 {
         *self.free_phones.get(grade)
+    }
+
+    /// Total phones per grade (free + frozen).
+    #[must_use]
+    pub fn total_phones(&self) -> PerGrade<u64> {
+        self.total_phones
+    }
+
+    /// Whether every resource is back in the pool: no lease outstanding
+    /// and free capacity equal to total capacity. An idle platform must
+    /// satisfy this — a `false` here means a freeze was never paired with
+    /// its release (or vice versa).
+    #[must_use]
+    pub fn fully_free(&self) -> bool {
+        self.leases.is_empty()
+            && self.free_bundles == self.total_bundles
+            && DeviceGrade::ALL
+                .iter()
+                .all(|&g| self.free_phones.get(g) == self.total_phones.get(g))
+    }
+
+    /// Resyncs the per-grade phone totals to `totals` (the fleet as the
+    /// phone manager currently knows it) and recomputes free capacity as
+    /// `total − frozen` (saturating at zero), where frozen is the sum of
+    /// the outstanding leases. Deriving free from the leases — rather
+    /// than applying a delta to the previous free count — keeps a
+    /// shrink-below-frozen followed by a later grow honest: the regrown
+    /// capacity only becomes free once the leases holding it release.
+    pub fn set_total_phones(&mut self, totals: PerGrade<u64>) {
+        let mut frozen = PerGrade::new(0u64);
+        for claim in self.leases.values() {
+            for grade in DeviceGrade::ALL {
+                *frozen.get_mut(grade) += *claim.phones.get(grade);
+            }
+        }
+        for grade in DeviceGrade::ALL {
+            let new_total = *totals.get(grade);
+            *self.free_phones.get_mut(grade) = new_total.saturating_sub(*frozen.get(grade));
+            *self.total_phones.get_mut(grade) = new_total;
+        }
     }
 
     /// Whether `claim` currently fits.
@@ -205,6 +251,39 @@ mod tests {
         assert!(rm.freeze(TaskId(3), claim(1, 0, 0)).is_err());
         rm.release(TaskId(1));
         assert!(rm.freeze(TaskId(3), claim(1, 0, 0)).is_ok());
+    }
+
+    #[test]
+    fn fully_free_detects_leaks() {
+        let mut rm = manager();
+        assert!(rm.fully_free());
+        rm.freeze(TaskId(1), claim(10, 1, 0)).unwrap();
+        assert!(!rm.fully_free());
+        rm.release(TaskId(1));
+        assert!(rm.fully_free());
+        assert_eq!(rm.total_bundles(), 200);
+        assert_eq!(rm.total_phones(), PerGrade::from_parts(17, 13));
+    }
+
+    #[test]
+    fn total_phone_resync_adjusts_free_capacity() {
+        let mut rm = manager();
+        rm.set_total_phones(PerGrade::from_parts(20, 13));
+        assert_eq!(rm.free_phones(DeviceGrade::High), 20);
+        assert!(rm.fully_free());
+        // Shrinking below frozen capacity saturates free at zero but keeps
+        // the new total for later releases.
+        rm.freeze(TaskId(1), claim(0, 18, 0)).unwrap();
+        rm.set_total_phones(PerGrade::from_parts(4, 13));
+        assert_eq!(rm.free_phones(DeviceGrade::High), 0);
+        // Growing back while the lease is still held must not mint free
+        // capacity the lease already owns: free = total − frozen.
+        rm.set_total_phones(PerGrade::from_parts(20, 13));
+        assert_eq!(rm.free_phones(DeviceGrade::High), 2, "20 total − 18 frozen");
+        rm.set_total_phones(PerGrade::from_parts(4, 13));
+        rm.release(TaskId(1));
+        assert_eq!(rm.free_phones(DeviceGrade::High), 4, "clamped to total");
+        assert!(rm.fully_free());
     }
 
     #[test]

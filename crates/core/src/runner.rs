@@ -117,6 +117,43 @@ pub struct TaskRunner {
     config: RunnerConfig,
 }
 
+/// A planned task execution: the full per-round timeline computed at
+/// admission time, with benchmark phones reserved but their measurements
+/// not yet taken.
+///
+/// The event-driven platform calls [`TaskRunner::plan`] when the scheduler
+/// admits a task — fixing the task's completion instant so it can be
+/// scheduled as an event — and [`TaskRunner::commit`] when that event
+/// fires, which performs the benchmark measurements and produces the final
+/// [`TaskReport`]. `plan` then `commit` is byte-identical to the old
+/// single-shot `execute`.
+#[derive(Debug)]
+pub struct TaskPlan {
+    report: TaskReport,
+    benchmark_phones: Vec<PhoneId>,
+}
+
+impl TaskPlan {
+    /// The planned task.
+    #[must_use]
+    pub fn task(&self) -> TaskId {
+        self.report.task
+    }
+
+    /// Virtual start instant.
+    #[must_use]
+    pub fn started_at(&self) -> SimInstant {
+        self.report.started_at
+    }
+
+    /// Virtual completion instant (last aggregation or benchmark
+    /// teardown) — where the platform schedules the completion event.
+    #[must_use]
+    pub fn finished_at(&self) -> SimInstant {
+        self.report.finished_at
+    }
+}
+
 impl Default for TaskRunner {
     fn default() -> Self {
         TaskRunner::new(RunnerConfig::default())
@@ -189,14 +226,16 @@ impl TaskRunner {
             .collect()
     }
 
-    /// Executes `spec` starting at virtual time `start`.
+    /// Executes `spec` starting at virtual time `start`: plan immediately
+    /// followed by commit. Batch drivers and tests use this; the
+    /// event-driven platform splits the two phases so completions can
+    /// interleave on the virtual timeline.
     ///
     /// # Errors
     ///
     /// Returns validation/allocation/resource errors; a task that starts
     /// executing always produces a report (rounds that time out aggregate
     /// best-effort).
-    #[allow(clippy::too_many_lines)]
     pub fn execute(
         &self,
         spec: &TaskSpec,
@@ -206,6 +245,30 @@ impl TaskRunner {
         storage: &mut Storage,
         start: SimInstant,
     ) -> Result<TaskReport> {
+        let plan = self.plan(spec, dataset, cluster, phones, storage, start)?;
+        self.commit(plan, phones)
+    }
+
+    /// Plan phase: computes the task's entire per-round timeline (device
+    /// placement, training, DeviceFlow routing, aggregation instants) and
+    /// reserves the benchmark phones by submitting their run plans —
+    /// without taking the measurements. The returned [`TaskPlan`] fixes
+    /// `finished_at`, so the platform can schedule the completion event
+    /// before any wall-clock-later work happens.
+    ///
+    /// # Errors
+    ///
+    /// Returns validation/allocation/resource errors.
+    #[allow(clippy::too_many_lines)]
+    pub fn plan(
+        &self,
+        spec: &TaskSpec,
+        dataset: &CtrDataset,
+        cluster: &mut LogicalCluster,
+        phones: &mut PhoneMgr,
+        storage: &mut Storage,
+        start: SimInstant,
+    ) -> Result<TaskPlan> {
         spec.validate()?;
         let allocation = self.plan_allocation(spec, cluster)?;
         let mut rng = RngStream::named(spec.seed, &format!("task/{}", spec.id.0));
@@ -433,8 +496,12 @@ impl TaskRunner {
             round_start = aggregated_at;
         }
 
-        // --- Benchmark measurement ---------------------------------------
-        let mut benchmark_reports = Vec::new();
+        // --- Benchmark reservation ---------------------------------------
+        // Submitting the run plans here (not at commit) keeps the phones
+        // busy over their measurement windows, so a task admitted mid-run
+        // cannot double-book them; the measurements themselves wait for
+        // the commit phase.
+        let mut benchmark_phones = Vec::new();
         let mut finished_at = rounds.last().map_or(start, |r| r.aggregated_at);
         if self.config.measure_benchmarks {
             for (g, placement) in spec.grades.iter().zip(&placements) {
@@ -453,20 +520,67 @@ impl TaskRunner {
                     let plan = simdc_phone::RunPlan::new(spec.id, phone, start, &durations, &gaps)?;
                     finished_at = finished_at.max(plan.end());
                     phones.submit_run(phone, plan)?;
-                    benchmark_reports.push(phones.measure_run(phone)?);
+                    benchmark_phones.push(phone);
                 }
             }
         }
 
-        Ok(TaskReport {
-            task: spec.id,
-            started_at: start,
-            finished_at,
-            rounds,
-            allocation,
-            final_model: global,
-            benchmark_reports,
+        Ok(TaskPlan {
+            report: TaskReport {
+                task: spec.id,
+                started_at: start,
+                finished_at,
+                rounds,
+                allocation,
+                final_model: global,
+                benchmark_reports: Vec::new(),
+            },
+            benchmark_phones,
         })
+    }
+
+    /// Commit phase: measures the benchmark phones reserved by
+    /// [`TaskRunner::plan`] (in reservation order, so the RNG draw sequence
+    /// matches the old single-shot execution) and finalizes the report.
+    ///
+    /// Measurement is best-effort: a benchmark phone whose run vanished
+    /// between plan and commit — crashed and rebooted (reboot wipes the
+    /// assigned run), retired from the fleet, or already reassigned to a
+    /// *later* task's run (possible when this task's overall
+    /// `finished_at` extends past that phone's own run window) —
+    /// contributes no report rather than failing a task whose training
+    /// already completed, and never measures another task's run as its
+    /// own. A phone that crashed but never rebooted still yields the
+    /// partial report captured up to the crash.
+    ///
+    /// # Errors
+    ///
+    /// Propagates measurement faults other than the vanished-run cases
+    /// above — an unexpected error must fail the task, not silently
+    /// shorten its benchmark data.
+    pub fn commit(&self, plan: TaskPlan, phones: &mut PhoneMgr) -> Result<TaskReport> {
+        let TaskPlan {
+            mut report,
+            benchmark_phones,
+        } = plan;
+        for phone in benchmark_phones {
+            // Only measure a run that is still *this task's* run.
+            let owned = phones
+                .phone(phone)
+                .and_then(|p| p.run())
+                .is_some_and(|r| r.task == report.task);
+            if !owned {
+                continue;
+            }
+            match phones.measure_run(phone) {
+                Ok(measured) => report.benchmark_reports.push(measured),
+                // Phone retired or run wiped between the ownership check
+                // and the measurement (defensive; measure_run re-reads).
+                Err(SimdcError::PhoneUnavailable(_) | SimdcError::InvalidConfig(_)) => {}
+                Err(other) => return Err(other),
+            }
+        }
+        Ok(report)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -853,6 +967,46 @@ mod tests {
         let r = &report.rounds[0];
         assert!(r.stragglers > 0, "{r:?}");
         assert_eq!(r.aggregated_at, r.started_at + SimDuration::from_secs(40));
+    }
+
+    #[test]
+    fn commit_skips_benchmark_runs_reassigned_to_another_task() {
+        let data = dataset();
+        let (mut cluster, mut phones, mut storage) = substrates();
+        let runner = TaskRunner::default();
+        let plan = runner
+            .plan(
+                &base_spec(7),
+                &data,
+                &mut cluster,
+                &mut phones,
+                &mut storage,
+                SimInstant::EPOCH,
+            )
+            .unwrap();
+        assert_eq!(plan.benchmark_phones.len(), 2);
+        // Between plan and commit, one benchmark phone's run is replaced
+        // by a later task's (possible once that phone's own window ends
+        // while this task's finished_at extends further).
+        let stolen = plan.benchmark_phones[0];
+        {
+            let phone = phones.phone_mut(stolen).unwrap();
+            phone.reboot(); // wipes the old run so a new one can land
+        }
+        let foreign = simdc_phone::RunPlan::new(
+            TaskId(99),
+            stolen,
+            SimInstant::EPOCH,
+            &[SimDuration::from_secs(30)],
+            &[],
+        )
+        .unwrap();
+        phones.submit_run(stolen, foreign).unwrap();
+        let report = runner.commit(plan, &mut phones).unwrap();
+        // The reassigned phone contributes nothing; the other phone's
+        // measurement is intact. No cross-task data attribution.
+        assert_eq!(report.benchmark_reports.len(), 1);
+        assert_ne!(report.benchmark_reports[0].phone, stolen);
     }
 
     #[test]

@@ -41,9 +41,13 @@ impl GreedyScheduler {
     /// Picks the pending tasks to start now, freezing their claims in
     /// priority order. Tasks that do not fit are skipped (a later, smaller
     /// task may still be admitted — classic greedy backfilling).
+    ///
+    /// A pass walks the queue's incremental `(priority desc, submission
+    /// asc)` index directly — no per-pass sort — which keeps the
+    /// event-driven core cheap when every completion triggers a re-run.
     pub fn schedule(&self, queue: &TaskQueue, rm: &mut ResourceManager) -> Vec<TaskId> {
         let mut started = Vec::new();
-        for id in queue.pending_by_priority() {
+        for id in queue.iter_pending() {
             let Some(record) = queue.get(id) else {
                 continue;
             };

@@ -232,6 +232,18 @@ impl<E> EventQueue<E> {
         self.heap.pop().map(|e| (e.at, e.event))
     }
 
+    /// Pops the earliest event only if it is due at or before `deadline`;
+    /// later events stay queued. Drivers that interleave an internal event
+    /// stream with an external one (e.g. task completions vs. workload
+    /// arrivals) use this to drain everything due before the next external
+    /// instant.
+    pub fn pop_before(&mut self, deadline: SimInstant) -> Option<(SimInstant, E)> {
+        if self.peek_time()? > deadline {
+            return None;
+        }
+        self.pop()
+    }
+
     /// Timestamp of the earliest pending event.
     #[must_use]
     pub fn peek_time(&self) -> Option<SimInstant> {
@@ -389,6 +401,29 @@ mod tests {
         eng.schedule_in(SimDuration::from_micros(10), Ev::Mark("x"));
         eng.run();
         eng.schedule_at(SimInstant::from_micros(5), Ev::Mark("y"));
+    }
+
+    #[test]
+    fn pop_before_respects_the_deadline() {
+        let mut q: EventQueue<&'static str> = EventQueue::new();
+        q.push(SimInstant::from_micros(5), "early");
+        q.push(SimInstant::from_micros(5), "tie");
+        q.push(SimInstant::from_micros(50), "late");
+        assert_eq!(
+            q.pop_before(SimInstant::from_micros(10)),
+            Some((SimInstant::from_micros(5), "early"))
+        );
+        assert_eq!(
+            q.pop_before(SimInstant::from_micros(10)),
+            Some((SimInstant::from_micros(5), "tie"))
+        );
+        assert_eq!(q.pop_before(SimInstant::from_micros(10)), None);
+        assert_eq!(q.len(), 1, "late event stays queued");
+        assert_eq!(
+            q.pop_before(SimInstant::from_micros(50)),
+            Some((SimInstant::from_micros(50), "late"))
+        );
+        assert_eq!(q.pop_before(SimInstant::from_micros(99)), None);
     }
 
     #[test]

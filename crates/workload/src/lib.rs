@@ -11,7 +11,10 @@
 //!   benchmark-phone outages layered onto the phone cluster;
 //! * [`scenario`] — named scenarios executed through the deterministic
 //!   [`simdc_simrt::Engine`] event loop, producing [`ScenarioSummary`]
-//!   JSON.
+//!   JSON;
+//! * [`source`] — the pre-sampled [`simdc_core::SubmissionSource`]
+//!   adapter pacing an arrival process + template straight into
+//!   [`simdc_core::Platform::run_from_source`].
 //!
 //! Every stochastic choice derives from one scenario seed through named
 //! [`simdc_simrt::RngStream`]s: the same seed replays the exact same
@@ -49,9 +52,11 @@
 pub mod arrival;
 pub mod fleet;
 pub mod scenario;
+pub mod source;
 pub mod template;
 
 pub use arrival::ArrivalProcess;
 pub use fleet::{FleetDynamics, FleetEvent};
 pub use scenario::{library, Scenario, ScenarioSummary};
+pub use source::SampledSource;
 pub use template::{GradeScheme, TaskTemplate};

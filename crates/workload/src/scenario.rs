@@ -4,8 +4,11 @@
 //! [`FleetDynamics`] over a time horizon. [`Scenario::run`] pre-samples the
 //! stochastic schedules from the scenario seed, then replays them through
 //! the deterministic [`simdc_simrt::Engine`] event loop: task arrivals,
-//! phone crashes and reboots are all events in one queue, and a recurring
-//! dispatch event advances the [`Platform`] in admission waves.
+//! phone crashes and reboots are all events in one queue. The platform
+//! core is itself event-driven — each arrival is admitted at its arrival
+//! instant (or at the first task completion that frees its claim), and a
+//! recurring dispatch event merely paces the platform's completion events
+//! forward, never draining ahead of the outer timeline.
 //!
 //! Everything downstream of the seed is deterministic: same seed ⇒
 //! byte-identical [`ScenarioSummary`] JSON; different seed ⇒ different
@@ -34,7 +37,9 @@ pub struct Scenario {
     /// Arrival horizon: tasks arrive in `[0, horizon)`; the run then
     /// drains.
     pub horizon: SimDuration,
-    /// Period of the dispatch event that admits queued work in waves.
+    /// Period of the dispatch event that paces the platform's completion
+    /// events along the outer timeline (admission itself is per-arrival
+    /// and per-completion, not per-dispatch).
     pub dispatch_interval: SimDuration,
     /// Task arrival process.
     pub arrivals: ArrivalProcess,
@@ -153,7 +158,8 @@ enum Ev {
     Arrival(Box<TaskSpec>),
     /// A fleet perturbation fires.
     Fleet(FleetEvent),
-    /// Admission wave: sync the platform clock and run queued work.
+    /// Pacing tick: run the platform's completion events up to now (final
+    /// tick drains it to idle).
     Dispatch,
 }
 
@@ -178,6 +184,13 @@ impl World for ScenarioWorld {
         match event {
             Ev::Arrival(spec) => {
                 let id = spec.id;
+                // Bring the platform up to the arrival instant with the
+                // same tie discipline as `run_from_source`: completions
+                // strictly before now run normally, completions at
+                // exactly now only release their leases — the post-submit
+                // pass sees freed capacity and the new task together, so
+                // priority decides the tie.
+                self.completed += self.platform.sync_to_arrival(ctx.now()) as u64;
                 match self.platform.submit(*spec, Arc::clone(&self.dataset)) {
                     Ok(_) => {
                         self.arrivals.insert(id, ctx.now());
@@ -185,6 +198,7 @@ impl World for ScenarioWorld {
                     }
                     Err(_) => self.rejected += 1,
                 }
+                self.platform.admit_now();
             }
             Ev::Fleet(FleetEvent::Crash(id)) => {
                 if let Some(phone) = self.platform.phones_mut().phone_mut(id) {
@@ -204,13 +218,16 @@ impl World for ScenarioWorld {
                 }
             }
             Ev::Dispatch => {
-                self.platform.advance_clock_to(ctx.now());
-                self.completed += self.platform.run_until_idle() as u64;
-                // Keep dispatching while anything else (arrivals, crashes,
-                // reboots) is still on the timeline; the wave with an empty
-                // queue is the final drain.
+                // Pace the platform's completion events up to now; while
+                // anything else (arrivals, crashes, reboots) is still on
+                // the outer timeline, never run ahead of it. The tick with
+                // an empty outer queue is the final drain.
                 if ctx.pending() > 0 {
+                    self.completed += self.platform.run_until(ctx.now()) as u64;
                     ctx.schedule_in(self.dispatch_interval, Ev::Dispatch);
+                } else {
+                    self.platform.advance_clock_to(ctx.now());
+                    self.completed += self.platform.run_until_idle() as u64;
                 }
             }
         }
