@@ -1,0 +1,15 @@
+//! Scale bench: the `mega_fleet` scenario over a 100k–1M-phone fleet,
+//! reporting events/sec and wall-clock throughput (`BENCH_scale.json`).
+//!
+//! ```sh
+//! cargo run --release -p simdc-bench --bin scale            # 100k phones
+//! cargo run --release -p simdc-bench --bin scale -- --fleet 1000000
+//! cargo run -p simdc-bench --bin scale -- --quick --fleet 500   # debug: parity armed
+//! ```
+
+use simdc_bench::ExpOptions;
+
+fn main() {
+    let opts = ExpOptions::from_args();
+    simdc_bench::exp::scale::run(&opts);
+}

@@ -11,6 +11,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod scale;
 pub mod scenarios;
 pub mod table1;
 pub mod table2;
@@ -60,6 +61,12 @@ pub const ALL: &[(&str, ExpRunner)] = &[
     }),
     ("scenarios", |opts| {
         scenarios::run(opts);
+    }),
+    // The scale bench goes beyond the paper: mega_fleet throughput over a
+    // grade-indexed 100k+-phone fleet (quick mode shrinks the fleet). The
+    // name doubles as the JSON stem, so the suite emits BENCH_scale.json.
+    ("BENCH_scale", |opts| {
+        scale::run(opts);
     }),
 ];
 

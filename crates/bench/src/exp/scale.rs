@@ -1,0 +1,148 @@
+//! Scale bench — the `mega_fleet` scenario against a 100k-phone fleet.
+//!
+//! This is the experiment that *measures* (rather than asserts) the
+//! grade-indexed availability accounting in `PhoneMgr`: it drives the
+//! [`simdc_workload::mega_fleet`] scenario — superposed bursty arrivals of
+//! phone-heavy tasks, light churn, a straggler tail — over a fleet scaled
+//! with [`FleetSpec::scaled_paper`], and reports wall-clock throughput:
+//! simulation events per second, completed tasks per second and the
+//! virtual-time speedup. Before the index, `select`/`available`/
+//! `effective_profile` rescanned the fleet per task per grade, so
+//! events/sec collapsed as the fleet grew; with the index the per-task
+//! cost is O(k log F) and fleet size only pays at construction.
+//!
+//! The default fleet is 100,000 phones (`--fleet N` overrides, up to the
+//! ROADMAP's million); `--quick` drops to a 2,000-phone smoke size with a
+//! shortened horizon — CI runs that at a small fleet in both release
+//! (throughput numbers) and debug (the index-parity assertion stays
+//! armed). The scenario summary inside the result is byte-deterministic
+//! per seed; the surrounding timing block is wall-clock and is not.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use serde::Serialize;
+use simdc_core::PlatformConfig;
+use simdc_phone::FleetSpec;
+use simdc_workload::{mega_fleet, ScenarioSummary};
+
+use crate::{f, render_table, ExpOptions};
+
+/// Default fleet size of the full-scale run.
+pub const FULL_FLEET: usize = 100_000;
+/// Fleet size of `--quick` smoke runs.
+pub const QUICK_FLEET: usize = 2_000;
+
+/// Wall-clock throughput figures (not seed-deterministic).
+#[derive(Debug, Clone, Serialize)]
+pub struct ScaleTiming {
+    /// End-to-end wall time of the scenario run, including fleet
+    /// construction, seconds.
+    pub wall_secs: f64,
+    /// Simulation events processed per wall-clock second.
+    pub events_per_sec: f64,
+    /// Tasks completed per wall-clock second.
+    pub tasks_per_sec: f64,
+    /// Virtual seconds simulated per wall-clock second.
+    pub virtual_per_wall: f64,
+}
+
+/// The `BENCH_scale.json` payload: a deterministic scenario summary plus
+/// the wall-clock throughput measured around it.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScaleResult {
+    /// Phones in the simulated fleet.
+    pub fleet_size: usize,
+    /// Seed-deterministic scenario outcome (same seed ⇒ byte-identical).
+    pub summary: ScenarioSummary,
+    /// Wall-clock throughput of this particular run.
+    pub timing: ScaleTiming,
+}
+
+/// Runs the scale bench and writes `BENCH_scale.json`.
+///
+/// # Panics
+///
+/// Panics if the `mega_fleet` scenario fails validation (a library bug).
+pub fn run(opts: &ExpOptions) -> ScaleResult {
+    let fleet_size = opts
+        .fleet
+        .unwrap_or(if opts.quick { QUICK_FLEET } else { FULL_FLEET });
+    let scenario = if opts.quick {
+        mega_fleet().scaled(0.1)
+    } else {
+        mega_fleet()
+    };
+    scenario.validate().expect("mega_fleet must be valid");
+    let data = Arc::new(super::standard_dataset(64, opts.seed));
+    let config = PlatformConfig {
+        fleet: FleetSpec::scaled_paper(fleet_size),
+        seed: opts.seed,
+        ..PlatformConfig::default()
+    };
+
+    let started = Instant::now();
+    let summary = scenario.run(config, &data, opts.seed);
+    let wall_secs = started.elapsed().as_secs_f64().max(1e-9);
+
+    let timing = ScaleTiming {
+        wall_secs,
+        events_per_sec: summary.events as f64 / wall_secs,
+        tasks_per_sec: summary.completed as f64 / wall_secs,
+        virtual_per_wall: summary.makespan_secs / wall_secs,
+    };
+    let result = ScaleResult {
+        fleet_size,
+        summary,
+        timing,
+    };
+
+    let table = render_table(
+        &[
+            "Fleet", "Tasks", "Done", "Crash", "Events", "Wall (s)", "Events/s", "Virt x",
+        ],
+        &[vec![
+            result.fleet_size.to_string(),
+            result.summary.submitted.to_string(),
+            result.summary.completed.to_string(),
+            result.summary.crashes.to_string(),
+            result.summary.events.to_string(),
+            f(result.timing.wall_secs, 2),
+            f(result.timing.events_per_sec, 1),
+            f(result.timing.virtual_per_wall, 0),
+        ]],
+    );
+    println!(
+        "Scale bench — mega_fleet scenario over a grade-indexed {fleet_size}-phone fleet\n{table}"
+    );
+    opts.write_json("BENCH_scale", &result);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_run_reports_throughput_over_thousands_of_phones() {
+        let out_dir = std::env::temp_dir().join(format!("simdc-scale-{}", std::process::id()));
+        let opts = ExpOptions {
+            quick: true,
+            seed: 11,
+            out_dir: out_dir.clone(),
+            fleet: Some(1_200),
+        };
+        let result = run(&opts);
+        assert_eq!(result.fleet_size, 1_200);
+        assert!(result.summary.submitted > 0, "{result:?}");
+        assert!(result.summary.completed > 0, "{result:?}");
+        assert!(result.timing.events_per_sec > 0.0);
+        assert!(result.timing.virtual_per_wall > 1.0, "{result:?}");
+        let json = std::fs::read_to_string(out_dir.join("BENCH_scale.json")).unwrap();
+        assert!(json.contains("events_per_sec"));
+        // The scenario summary (not the wall timing) is deterministic.
+        let again = run(&opts);
+        assert_eq!(result.summary, again.summary);
+        std::fs::remove_dir_all(&out_dir).ok();
+    }
+}

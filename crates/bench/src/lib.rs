@@ -20,6 +20,9 @@ pub struct ExpOptions {
     pub quick: bool,
     /// Where to write the JSON result (default `results/<name>.json`).
     pub out_dir: PathBuf,
+    /// Phone-fleet size override for the scale experiments (`--fleet N`);
+    /// experiments without a fleet knob ignore it.
+    pub fleet: Option<usize>,
 }
 
 impl Default for ExpOptions {
@@ -28,12 +31,14 @@ impl Default for ExpOptions {
             seed: 0x51AD_C0DE,
             quick: false,
             out_dir: PathBuf::from("results"),
+            fleet: None,
         }
     }
 }
 
 impl ExpOptions {
-    /// Parses `--seed N`, `--quick` and `--out DIR` from `std::env::args`.
+    /// Parses `--seed N`, `--quick`, `--out DIR` and `--fleet N` from
+    /// `std::env::args`.
     ///
     /// # Panics
     ///
@@ -53,8 +58,15 @@ impl ExpOptions {
                 "--out" => {
                     opts.out_dir = PathBuf::from(args.next().expect("--out needs a value"));
                 }
+                "--fleet" => {
+                    let v = args.next().expect("--fleet needs a value");
+                    opts.fleet = Some(v.parse().expect("--fleet must be an integer"));
+                }
                 other => {
-                    panic!("unknown argument '{other}' (supported: --seed N, --quick, --out DIR)")
+                    panic!(
+                        "unknown argument '{other}' \
+                         (supported: --seed N, --quick, --out DIR, --fleet N)"
+                    )
                 }
             }
         }

@@ -15,6 +15,9 @@ fn quick_registry_runs_and_writes_parseable_results() {
         seed: 7,
         quick: true,
         out_dir: out_dir.clone(),
+        // Keep the registry smoke cheap: the scale experiment runs at a
+        // small (but still index-exercising) fleet.
+        fleet: Some(1_000),
     };
 
     assert!(

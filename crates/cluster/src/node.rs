@@ -68,9 +68,20 @@ impl WorkerNode {
         Ok(())
     }
 
-    /// Releases a previously reserved bundle (saturating, so double-release
-    /// cannot underflow).
+    /// Releases a previously reserved bundle.
+    ///
+    /// Release must pair with a reservation: debug builds assert the
+    /// bundle fits inside the current allocation, so a double release (or
+    /// releasing on the wrong node) cannot silently zero-clamp and mask an
+    /// accounting bug — mirroring the platform's lease-pairing invariant.
+    /// Release builds keep the saturating subtraction as a safety net.
     pub fn release(&mut self, bundle: &ResourceBundle) {
+        debug_assert!(
+            self.allocated.contains(bundle),
+            "release of {bundle} exceeds allocation {} on node {} (double release?)",
+            self.allocated,
+            self.id
+        );
         self.allocated = self.allocated.saturating_sub(bundle);
     }
 
@@ -139,7 +150,8 @@ impl NodePool {
         self.nodes.len()
     }
 
-    /// Whether the pool is empty (never true after construction).
+    /// Whether the pool is empty (possible after a full
+    /// [`NodePool::scale_down`] to zero).
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
@@ -186,9 +198,13 @@ impl NodePool {
 
     /// Removes idle nodes beyond `keep`, newest first. Returns how many
     /// were removed.
+    ///
+    /// `keep = 0` is honored: a caller scaling to zero gets an empty pool
+    /// (busy nodes still survive — only idle nodes are ever removed), and
+    /// [`NodePool::scale_up_for`] can regrow it later.
     pub fn scale_down(&mut self, keep: usize) -> usize {
         let mut removed = 0;
-        while self.nodes.len() > keep.max(1) {
+        while self.nodes.len() > keep {
             let Some(pos) = self.nodes.iter().rposition(WorkerNode::is_idle) else {
                 break;
             };
@@ -256,8 +272,20 @@ mod tests {
         assert!(node.reserve(&unit()).is_err());
     }
 
+    /// Debug builds trap the unpaired release instead of letting the
+    /// saturating subtraction absorb it.
     #[test]
-    fn double_release_saturates() {
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "double release")]
+    fn unpaired_release_panics_in_debug() {
+        let mut node = WorkerNode::new(NodeId(0), unit());
+        node.release(&unit());
+    }
+
+    /// Release builds keep the zero-clamp as a safety net.
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn unpaired_release_saturates_in_release() {
         let mut node = WorkerNode::new(NodeId(0), unit());
         node.release(&unit());
         assert!(node.is_idle());
@@ -306,6 +334,34 @@ mod tests {
         assert_eq!(removed, 2);
         assert_eq!(pool.len(), 1);
         // The busy node survives even though keep=1 was already satisfied.
+        assert!(!pool.nodes()[0].is_idle());
+    }
+
+    #[test]
+    fn scale_down_to_zero_empties_an_idle_pool() {
+        let mut pool = pool();
+        pool.scale_up_for(&unit(), 12);
+        assert_eq!(pool.len(), 3);
+        // keep = 0 is honored, not clamped to one retained node.
+        let removed = pool.scale_down(0);
+        assert_eq!(removed, 3);
+        assert!(pool.is_empty());
+        assert_eq!(pool.placeable(&unit()), 0);
+        assert!(pool.place(&unit()).is_err());
+        // The pool regrows on demand.
+        assert_eq!(pool.scale_up_for(&unit(), 4), 1);
+        assert_eq!(pool.len(), 1);
+        pool.place(&unit()).unwrap();
+    }
+
+    #[test]
+    fn scale_down_to_zero_spares_busy_nodes() {
+        let mut pool = pool();
+        pool.scale_up_for(&unit(), 12);
+        pool.place(&unit()).unwrap(); // occupies node 0
+        let removed = pool.scale_down(0);
+        assert_eq!(removed, 2, "only the idle nodes go");
+        assert_eq!(pool.len(), 1);
         assert!(!pool.nodes()[0].is_idle());
     }
 

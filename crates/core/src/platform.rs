@@ -130,11 +130,9 @@ pub struct Platform {
     plans: HashMap<TaskId, TaskPlan>,
     /// Pending completion events on the virtual timeline.
     events: EventQueue<PlatformEvent>,
-    /// Fleet size the Resource Manager's phone totals were last synced
-    /// against — the cheap change signal that gates the per-grade rescan
-    /// (phones can be registered, never regraded, so a size match means
-    /// the per-grade totals still hold).
-    synced_fleet_size: usize,
+    /// Completion events processed so far — including tasks that failed
+    /// at commit (scenario drivers fold this into their event totals).
+    completion_events: u64,
     clock: SimInstant,
 }
 
@@ -160,7 +158,6 @@ impl Platform {
         let phones = PhoneMgr::with_fleet(config.fleet, config.poll_interval, config.seed);
         let total_bundles = cluster.free_unit_bundles();
         let total_phones = PerGrade::from_fn(|g| phones.count(g, None) as u64);
-        let total = phones.total();
         Platform {
             cluster,
             phones,
@@ -173,7 +170,7 @@ impl Platform {
             reports: HashMap::new(),
             plans: HashMap::new(),
             events: EventQueue::new(),
-            synced_fleet_size: total,
+            completion_events: 0,
             clock: SimInstant::EPOCH,
         }
     }
@@ -218,15 +215,10 @@ impl Platform {
     }
 
     /// Resyncs the Resource Manager's per-grade phone totals with the
-    /// phone manager's current fleet. O(1) when the fleet size is
-    /// unchanged since the last sync — this runs on every scheduling
-    /// pass, so the per-grade rescan must not be paid per completion on
-    /// a static fleet.
+    /// phone manager's current fleet. [`PhoneMgr::count`] answers from
+    /// the grade index's registration totals, so the resync is O(1)
+    /// however large the fleet — it runs on every scheduling pass.
     fn sync_fleet_totals(&mut self) {
-        if self.phones.total() == self.synced_fleet_size {
-            return;
-        }
-        self.synced_fleet_size = self.phones.total();
         let totals = PerGrade::from_fn(|g| self.phones.count(g, None) as u64);
         if totals != self.rm.total_phones() {
             self.rm.set_total_phones(totals);
@@ -288,6 +280,7 @@ impl Platform {
     /// completed (vs. failed at commit).
     fn finish(&mut self, id: TaskId, at: SimInstant) -> bool {
         self.clock = self.clock.max(at);
+        self.completion_events += 1;
         let plan = self.plans.remove(&id).expect("completion without a plan");
         let committed = self.runner.commit(plan, &mut self.phones);
         // Release exactly once per freeze, whatever the commit outcome.
@@ -474,6 +467,14 @@ impl Platform {
     /// outer event loop before injecting work or fleet events.
     pub fn advance_clock_to(&mut self, at: SimInstant) {
         self.clock = self.clock.max(at);
+    }
+
+    /// Completion events processed since construction, counting tasks
+    /// that failed at commit as well as successes — the platform's share
+    /// of a scenario's total event count.
+    #[must_use]
+    pub fn completion_events(&self) -> u64 {
+        self.completion_events
     }
 
     /// The report of a completed task.

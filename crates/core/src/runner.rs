@@ -297,6 +297,22 @@ impl TaskRunner {
             });
         }
 
+        // A grade whose phone fleet has drained to zero (churn, retirement,
+        // or a fleet that never had it) offers no behaviour profile to
+        // average. A task placing devices on that grade's phone cluster
+        // must surface resource exhaustion instead of silently planning
+        // with the static paper profile of phones that do not exist.
+        for (g, placement) in spec.grades.iter().zip(&placements) {
+            let needs_phones =
+                !placement.phone_devices.is_empty() || !placement.benchmark_devices.is_empty();
+            if needs_phones && phones.try_effective_profile(g.grade).is_none() {
+                return Err(SimdcError::ResourceExhausted {
+                    requested: format!("{} phone-cluster devices for task {}", g.grade, spec.id),
+                    available: format!("0 {} phones registered", g.grade),
+                });
+            }
+        }
+
         // --- DeviceFlow -------------------------------------------------
         let mut harness = spec.strategy.as_ref().map(|strategy| {
             let mut flow = DeviceFlow::new();
@@ -331,6 +347,9 @@ impl TaskRunner {
                 // Effective (fleet-averaged) profile, so stragglers and
                 // other per-phone perturbations stretch the actual wave
                 // timing — the optimizer plans with nominal profiles.
+                // Grades that place phone work were verified non-empty
+                // right after placement, so the nominal fallback here can
+                // only ever serve fully-logical grades.
                 let profile = phones.effective_profile(g.grade);
                 // Logical side.
                 if !placement.logical_devices.is_empty() {
@@ -1007,6 +1026,62 @@ mod tests {
         // measurement is intact. No cross-task data attribution.
         assert_eq!(report.benchmark_reports.len(), 1);
         assert_ne!(report.benchmark_reports[0].phone, stolen);
+    }
+
+    #[test]
+    fn plan_fails_when_churn_drains_a_grade_to_zero_phones() {
+        let data = dataset();
+        let (mut cluster, mut phones, mut storage) = substrates();
+        // Churn-to-zero: every High phone leaves the fleet.
+        let high_ids: Vec<_> = phones
+            .phones()
+            .iter()
+            .filter(|p| p.grade() == DeviceGrade::High)
+            .map(|p| p.id())
+            .collect();
+        for id in high_ids {
+            phones.retire(id).unwrap();
+        }
+        // A task placing compute devices on High phones (no benchmark
+        // phones, so the failure exercises the profile guard rather than
+        // benchmark selection) must surface exhaustion, not plan against
+        // the static paper profile.
+        let mut spec = base_spec(11);
+        spec.allocation = AllocationPolicy::FixedLogicalFraction(0.0);
+        spec.grades[0].benchmark_phones = 0;
+        let runner = TaskRunner::new(RunnerConfig {
+            measure_benchmarks: false,
+            ..RunnerConfig::default()
+        });
+        let err = runner
+            .execute(
+                &spec,
+                &data,
+                &mut cluster,
+                &mut phones,
+                &mut storage,
+                SimInstant::EPOCH,
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, SimdcError::ResourceExhausted { .. }),
+            "expected ResourceExhausted, got {err}"
+        );
+        // A fully-logical task on the same drained grade still plans fine.
+        let mut logical = base_spec(12);
+        logical.allocation = AllocationPolicy::FixedLogicalFraction(1.0);
+        logical.grades[0].benchmark_phones = 0;
+        logical.grades[0].phones = 0;
+        runner
+            .execute(
+                &logical,
+                &data,
+                &mut cluster,
+                &mut phones,
+                &mut storage,
+                SimInstant::EPOCH,
+            )
+            .unwrap();
     }
 
     #[test]

@@ -134,11 +134,22 @@ pub fn discretize(
         let peak = counts.iter().copied().max().unwrap_or(0);
         if peak <= capacity {
             let step = interval / n as u64;
+            // Offsets are apportioned as `interval · i / n` (in u128 so a
+            // long interval times a dense grid cannot overflow) rather
+            // than `step · i`: the truncated step would shift every point
+            // early by up to `i` ticks, clustering the whole grid at the
+            // front of the interval whenever `n` does not divide it.
+            // Distributing the remainder keeps the last bin's start
+            // within one tick of `interval · (n-1) / n` exactly.
+            let grid_offset = |i: usize| {
+                let micros = u128::from(interval.as_micros()) * i as u128 / n as u128;
+                SimDuration::from_micros(micros as u64)
+            };
             let points = counts
                 .into_iter()
                 .enumerate()
                 .map(|(i, count)| DispatchPoint {
-                    offset: step * i as u64,
+                    offset: grid_offset(i),
                     count,
                 })
                 .collect();
@@ -249,6 +260,38 @@ mod tests {
             assert!(pair[0].offset < pair[1].offset);
         }
         assert!(plan.points().last().unwrap().offset < minute());
+    }
+
+    #[test]
+    fn grid_spans_the_interval_without_truncation_drift() {
+        // 7 µs over a grid the point count does not divide: the old
+        // `step * i` offsets truncated `step` first, clustering every
+        // point early and leaving the tail of the interval empty.
+        let f = TrafficFunction::Constant(1.0);
+        let d = Domain::new(0.0, 1.0).unwrap();
+        let interval = SimDuration::from_micros(1_000_003); // prime, n ∤ interval
+        let plan = discretize(&f, &d, interval, 640, 700).unwrap();
+        let n = plan.points().len() as u64;
+        assert!(n > 1);
+        // The last bin must start within one tick of interval·(n-1)/n —
+        // i.e. the grid reaches the end of the interval instead of
+        // stopping `n` ticks short.
+        let last = plan.points().last().unwrap().offset;
+        let exact_last = interval.as_micros() * (n - 1) / n;
+        assert!(
+            last.as_micros() >= exact_last.saturating_sub(1),
+            "grid stops early: last offset {last} vs exact {exact_last}µs"
+        );
+        assert!(last + plan.step() <= interval + SimDuration::from_micros(n));
+        // Per-point drift never exceeds one tick anywhere on the grid.
+        for (i, p) in plan.points().iter().enumerate() {
+            let exact = interval.as_micros() * i as u64 / n;
+            assert!(
+                p.offset.as_micros().abs_diff(exact) <= 1,
+                "point {i} drifted: {} vs {exact}",
+                p.offset.as_micros()
+            );
+        }
     }
 
     #[test]

@@ -135,6 +135,13 @@ impl PhoneDevice {
         self.crashed_at.is_some_and(|t| now >= t)
     }
 
+    /// The instant an injected crash takes (or took) effect, if any — the
+    /// availability index schedules the offline transition from this.
+    #[must_use]
+    pub fn crashed_at(&self) -> Option<SimInstant> {
+        self.crashed_at
+    }
+
     /// Assigns a run plan.
     ///
     /// # Errors

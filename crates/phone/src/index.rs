@@ -1,0 +1,275 @@
+//! Incremental grade-indexed availability accounting for [`crate::PhoneMgr`].
+//!
+//! The manager's task-plan hot paths — `select`, `available`,
+//! `effective_profile` — used to rescan the whole `Vec<PhoneDevice>` on
+//! every call, which is O(fleet) per task per grade and the wall between
+//! paper-scale fleets (30 phones) and million-device scenarios. This module
+//! keeps the answers *incrementally*:
+//!
+//! * per-`(grade, provenance)` ordered **free sets** (`BTreeSet<PhoneId>`),
+//!   so selection pops the cheapest ids in the exact order the old
+//!   sort-based scan produced (local before MSP, ids ascending);
+//! * per-`(grade, provenance)` **registration totals**, making `count`
+//!   O(1);
+//! * per-grade **running sums** of the profiled training/startup
+//!   durations, making `effective_profile` O(1);
+//! * a global min-heap of **availability transitions** — run completions
+//!   and scheduled crash onsets — drained lazily as query time advances,
+//!   so a phone whose run ends at `t` re-enters its free set the first
+//!   time anyone asks about a `now >= t`.
+//!
+//! Phone availability is a function of virtual time (`is_busy(now)` /
+//! `is_crashed(now)`), so the index carries a high-water mark
+//! (`indexed_to`) and assumes availability queries arrive with
+//! non-decreasing `now` — which the event-driven platform guarantees.
+//! `select` additionally re-verifies every candidate against the device
+//! state, so even a misuse cannot hand out a busy phone. In debug builds
+//! the manager asserts after every sync that the index agrees with a full
+//! brute-force rescan.
+//!
+//! Mutations that bypass the manager's APIs (raw [`crate::PhoneMgr::phone_mut`]
+//! access) are tracked as *dirty* ids and re-indexed on the next query, so
+//! existing callers stay correct without threading hooks everywhere.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, HashMap};
+
+use simdc_types::{DeviceGrade, PhoneId, SimInstant};
+
+use crate::device::{PhoneDevice, Provenance};
+
+/// Provenance slot inside the per-grade bucket arrays.
+pub(crate) const fn prov_slot(prov: Provenance) -> usize {
+    match prov {
+        Provenance::Local => 0,
+        Provenance::Msp => 1,
+    }
+}
+
+/// Running per-grade profile sums backing O(1) `effective_profile`.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct GradeSums {
+    /// Registered phones of the grade.
+    pub n: u32,
+    /// Sum of profiled training durations, seconds.
+    pub train_secs: f64,
+    /// Sum of profiled framework-startup durations, seconds.
+    pub startup_secs: f64,
+}
+
+/// The incremental availability index. See the module docs.
+#[derive(Debug, Default)]
+pub(crate) struct FleetIndex {
+    /// Free (idle, healthy) phones per `[grade][provenance]`.
+    free: [[BTreeSet<PhoneId>; 2]; DeviceGrade::COUNT],
+    /// Registered phones per `[grade][provenance]` (busy or not).
+    totals: [[usize; 2]; DeviceGrade::COUNT],
+    /// Per-grade profile sums.
+    sums: [GradeSums; DeviceGrade::COUNT],
+    /// Each phone's last-indexed profile contribution
+    /// `(train_secs, startup_secs)` — subtracted before re-adding on a
+    /// profile change so the sums never double-count.
+    cached_profile: HashMap<PhoneId, (f64, f64)>,
+    /// Future instants at which a phone's availability may flip (run end,
+    /// scheduled crash onset). Entries may be stale — re-indexing is
+    /// idempotent, so stale pops are harmless.
+    transitions: BinaryHeap<Reverse<(SimInstant, PhoneId)>>,
+    /// Phones mutated through raw `phone_mut` access since the last sync.
+    dirty: Vec<PhoneId>,
+    /// High-water mark of drained transitions: availability answers are
+    /// exact for queries at `now >= indexed_to`.
+    indexed_to: SimInstant,
+}
+
+impl FleetIndex {
+    /// Marks a phone as needing re-indexing at the next sync (used by the
+    /// manager's raw mutable accessor, which cannot know what changed).
+    pub fn mark_dirty(&mut self, id: PhoneId) {
+        self.dirty.push(id);
+    }
+
+    /// Registered phones of `grade`, optionally narrowed to a provenance.
+    pub fn total(&self, grade: DeviceGrade, provenance: Option<Provenance>) -> usize {
+        let bucket = &self.totals[grade.index()];
+        match provenance {
+            Some(p) => bucket[prov_slot(p)],
+            None => bucket[0] + bucket[1],
+        }
+    }
+
+    /// Free phones of `grade` as of the last sync.
+    pub fn free_count(&self, grade: DeviceGrade) -> usize {
+        let bucket = &self.free[grade.index()];
+        bucket[0].len() + bucket[1].len()
+    }
+
+    /// Free ids of `grade` in selection order: local phones first, ids
+    /// ascending within each provenance — byte-identical to the order the
+    /// old full-fleet sort produced.
+    pub fn iter_free(&self, grade: DeviceGrade) -> impl Iterator<Item = PhoneId> + '_ {
+        let bucket = &self.free[grade.index()];
+        bucket[0].iter().copied().chain(bucket[1].iter().copied())
+    }
+
+    /// The per-grade profile sums (synced).
+    pub fn sums(&self, grade: DeviceGrade) -> GradeSums {
+        self.sums[grade.index()]
+    }
+
+    /// Accounts for a newly registered phone and indexes it.
+    pub fn note_registered(&mut self, phone: &PhoneDevice) {
+        self.totals[phone.grade().index()][prov_slot(phone.provenance())] += 1;
+        let at = self.indexed_to;
+        self.reindex(phone, at);
+    }
+
+    /// Removes a retired phone from every structure (stale heap entries
+    /// are left behind; expiry skips unknown ids).
+    pub fn note_retired(&mut self, phone: &PhoneDevice) {
+        let g = phone.grade().index();
+        self.totals[g][prov_slot(phone.provenance())] -= 1;
+        self.free[g][prov_slot(phone.provenance())].remove(&phone.id());
+        if let Some((train, startup)) = self.cached_profile.remove(&phone.id()) {
+            let sums = &mut self.sums[g];
+            sums.n -= 1;
+            sums.train_secs -= train;
+            sums.startup_secs -= startup;
+        }
+    }
+
+    /// Re-indexes one phone at the index's current high-water instant —
+    /// the hook manager APIs call right after they mutate a device.
+    pub fn touch(&mut self, phone: &PhoneDevice) {
+        let at = self.indexed_to;
+        self.reindex(phone, at);
+    }
+
+    /// Re-derives one phone's index state from the device itself, as of
+    /// `at`: profile contribution, free-set membership, and any future
+    /// transition instants. Idempotent.
+    pub fn reindex(&mut self, phone: &PhoneDevice, at: SimInstant) {
+        let id = phone.id();
+        let g = phone.grade().index();
+
+        // Profile sums: swap the cached contribution for the current one.
+        let contribution = (
+            phone.profile().train_duration.as_secs_f64(),
+            phone.profile().framework_startup.as_secs_f64(),
+        );
+        let sums = &mut self.sums[g];
+        match self.cached_profile.insert(id, contribution) {
+            Some((old_train, old_startup)) => {
+                if (old_train, old_startup) != contribution {
+                    sums.train_secs += contribution.0 - old_train;
+                    sums.startup_secs += contribution.1 - old_startup;
+                }
+            }
+            None => {
+                sums.n += 1;
+                sums.train_secs += contribution.0;
+                sums.startup_secs += contribution.1;
+            }
+        }
+
+        // Free-set membership as of `at`.
+        let set = &mut self.free[g][prov_slot(phone.provenance())];
+        if phone.is_busy(at) || phone.is_crashed(at) {
+            set.remove(&id);
+        } else {
+            set.insert(id);
+        }
+
+        // Future flips: the run's end frees the phone; a scheduled crash
+        // onset removes it. Reboots have no instant of their own — they
+        // arrive as explicit manager calls and re-index immediately.
+        if let Some(run) = phone.run() {
+            if run.end() > at {
+                self.transitions.push(Reverse((run.end(), id)));
+            }
+        }
+        if let Some(crash_at) = phone.crashed_at() {
+            if crash_at > at {
+                self.transitions.push(Reverse((crash_at, id)));
+            }
+        }
+    }
+
+    /// Brings the index up to `now`: drains due transitions and re-indexes
+    /// dirty phones. O(k log F) in the number of due transitions and dirty
+    /// ids — independent of fleet size on the steady-state path.
+    pub fn sync(
+        &mut self,
+        now: SimInstant,
+        phones: &[PhoneDevice],
+        by_id: &HashMap<PhoneId, usize>,
+    ) {
+        let at = self.indexed_to.max(now);
+        self.indexed_to = at;
+        while let Some(&Reverse((t, id))) = self.transitions.peek() {
+            if t > at {
+                break;
+            }
+            self.transitions.pop();
+            if let Some(&slot) = by_id.get(&id) {
+                // Split the borrow: reindex needs &mut self.
+                let phone = &phones[slot];
+                self.reindex(phone, at);
+            }
+        }
+        // Repeated phone_mut calls on one phone stack duplicate dirty
+        // entries; re-indexing is idempotent but each pass pushes fresh
+        // transition-heap entries, so dedup before flushing.
+        self.dirty.sort_unstable();
+        self.dirty.dedup();
+        while let Some(id) = self.dirty.pop() {
+            if let Some(&slot) = by_id.get(&id) {
+                let phone = &phones[slot];
+                self.reindex(phone, at);
+            }
+        }
+    }
+
+    /// Full-rescan parity check (debug builds): the free sets, totals and
+    /// profile sums must agree with a brute-force walk of the fleet at the
+    /// index's high-water instant.
+    #[cfg(debug_assertions)]
+    pub fn assert_parity(&self, phones: &[PhoneDevice]) {
+        let at = self.indexed_to;
+        let mut free: [[BTreeSet<PhoneId>; 2]; DeviceGrade::COUNT] = Default::default();
+        let mut totals = [[0usize; 2]; DeviceGrade::COUNT];
+        let mut ns = [0u32; DeviceGrade::COUNT];
+        for p in phones {
+            let g = p.grade().index();
+            let s = prov_slot(p.provenance());
+            totals[g][s] += 1;
+            ns[g] += 1;
+            if !p.is_busy(at) && !p.is_crashed(at) {
+                free[g][s].insert(p.id());
+            }
+        }
+        assert_eq!(
+            self.free, free,
+            "fleet index free sets diverged from a full rescan at {at}"
+        );
+        assert_eq!(self.totals, totals, "fleet index totals diverged");
+        for g in DeviceGrade::ALL {
+            let sums = self.sums[g.index()];
+            assert_eq!(sums.n, ns[g.index()], "profile-sum count diverged for {g}");
+            let (mut train, mut startup) = (0.0f64, 0.0f64);
+            for p in phones.iter().filter(|p| p.grade() == g) {
+                train += p.profile().train_duration.as_secs_f64();
+                startup += p.profile().framework_startup.as_secs_f64();
+            }
+            assert!(
+                (sums.train_secs - train).abs() <= 1e-6 * train.abs().max(1.0),
+                "profile train-duration sum drifted for {g}: {} vs rescan {train}",
+                sums.train_secs
+            );
+            assert!(
+                (sums.startup_secs - startup).abs() <= 1e-6 * startup.abs().max(1.0),
+                "profile startup sum drifted for {g}: {} vs rescan {startup}",
+                sums.startup_secs
+            );
+        }
+    }
+}

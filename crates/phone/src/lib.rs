@@ -22,7 +22,7 @@
 //! use simdc_phone::{PhoneDevice, PhoneMgr, Provenance, RunPlan};
 //! use simdc_types::{DeviceGrade, PhoneId, SimDuration, SimInstant, TaskId};
 //!
-//! let mut mgr = PhoneMgr::paper_default(42);
+//! let mgr = PhoneMgr::paper_default(42);
 //! assert_eq!(mgr.total(), 30); // 10 local + 20 MSP phones
 //! let picked = mgr
 //!     .select(DeviceGrade::High, 2, SimInstant::EPOCH)
@@ -32,6 +32,7 @@
 
 pub mod adb;
 pub mod device;
+pub(crate) mod index;
 pub mod measure;
 pub mod mgr;
 pub mod profile;
@@ -39,7 +40,7 @@ pub mod stage;
 
 pub use device::{PhoneDevice, Provenance};
 pub use measure::{PerfReport, PerfSample, StageMetrics};
-pub use mgr::PhoneMgr;
+pub use mgr::{FleetSpec, PhoneMgr};
 pub use profile::PhoneProfile;
 pub use stage::{RunPlan, Stage, StageWindow};
 

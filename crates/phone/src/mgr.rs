@@ -1,10 +1,34 @@
 //! PhoneMgr: selection, task submission and performance measurement.
+//!
+//! # Grade-indexed availability
+//!
+//! Fleet queries on the task-plan path — [`PhoneMgr::select`],
+//! [`PhoneMgr::available`], [`PhoneMgr::count`],
+//! [`PhoneMgr::effective_profile`] — are answered from an incremental
+//! per-`(grade, provenance)` index (see [`crate::index`]) instead of
+//! rescanning the fleet, so planning a task costs O(k log F) in the number
+//! of phones it touches, not O(F) in the fleet size. The index is
+//! maintained on every state transition the manager performs
+//! (registration, retirement, run submission, crash, reboot, profile
+//! change); raw mutations through [`PhoneMgr::phone_mut`] are tracked as
+//! dirty and re-indexed on the next query. Debug builds cross-check every
+//! synced query against a full rescan.
+//!
+//! Availability is time-dependent (runs end, crashes strike), so index
+//! queries assume a non-decreasing `now` — the discrete-event platform's
+//! natural clock discipline. `select` re-verifies candidates against
+//! device state regardless, so a violated assumption can under-report
+//! availability but never hand out a busy phone.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 use simdc_simrt::TimeSeries;
 use simdc_types::{DeviceGrade, PerGrade, PhoneId, Result, SimDuration, SimInstant, SimdcError};
 
 use crate::device::{PhoneDevice, Provenance};
+use crate::index::FleetIndex;
 use crate::measure::{
     aggregate_stages, parse_current_ua, parse_pss_kb, parse_top_cpu, parse_voltage_mv,
     parse_wlan_bytes, PerfReport, PerfSample,
@@ -32,6 +56,29 @@ impl FleetSpec {
             msp: PerGrade::from_parts(13, 7),
         }
     }
+
+    /// The paper's fleet composition scaled to `total` phones (ratios
+    /// 4:6:13:7 local-High : local-Low : MSP-High : MSP-Low), with any
+    /// rounding remainder absorbed by the MSP-Low pool. The scale
+    /// scenarios build 100k–1M-phone fleets this way.
+    #[must_use]
+    pub fn scaled_paper(total: usize) -> Self {
+        let part = |num: usize| total * num / 30;
+        let (lh, ll, mh) = (part(4), part(6), part(13));
+        FleetSpec {
+            local: PerGrade::from_parts(lh, ll),
+            msp: PerGrade::from_parts(mh, total - lh - ll - mh),
+        }
+    }
+
+    /// Total phones across grades and provenances.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        DeviceGrade::ALL
+            .iter()
+            .map(|&g| self.local.get(g) + self.msp.get(g))
+            .sum()
+    }
 }
 
 /// The phone-device management module (§IV-C).
@@ -43,7 +90,14 @@ impl FleetSpec {
 #[derive(Debug)]
 pub struct PhoneMgr {
     phones: Vec<PhoneDevice>,
+    /// O(1) id → slot lookup (slots are stable except across `retire`,
+    /// which swap-removes and patches the moved phone's entry).
+    by_id: HashMap<PhoneId, usize>,
     poll_interval: SimDuration,
+    /// Incremental availability index; interior mutability keeps the
+    /// read-path API (`select`, `available`, `effective_profile`) on
+    /// `&self` while the index syncs lazily.
+    index: RefCell<FleetIndex>,
 }
 
 impl PhoneMgr {
@@ -58,7 +112,9 @@ impl PhoneMgr {
         assert!(!poll_interval.is_zero(), "poll interval must be positive");
         PhoneMgr {
             phones: Vec::new(),
+            by_id: HashMap::new(),
             poll_interval,
+            index: RefCell::new(FleetIndex::default()),
         }
     }
 
@@ -104,14 +160,37 @@ impl PhoneMgr {
     ///
     /// Returns `InvalidConfig` on a duplicate id.
     pub fn register(&mut self, phone: PhoneDevice) -> Result<()> {
-        if self.phones.iter().any(|p| p.id() == phone.id()) {
+        if self.by_id.contains_key(&phone.id()) {
             return Err(SimdcError::InvalidConfig(format!(
                 "duplicate phone id {}",
                 phone.id()
             )));
         }
+        self.by_id.insert(phone.id(), self.phones.len());
+        self.index.get_mut().note_registered(&phone);
         self.phones.push(phone);
         Ok(())
+    }
+
+    /// Retires a phone from the fleet (decommissioned or returned to the
+    /// MSP), removing it from every availability structure. Any assigned
+    /// run is abandoned with it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimdcError::PhoneUnavailable`] for unknown ids.
+    pub fn retire(&mut self, id: PhoneId) -> Result<PhoneDevice> {
+        let slot = *self
+            .by_id
+            .get(&id)
+            .ok_or(SimdcError::PhoneUnavailable(id))?;
+        let phone = self.phones.swap_remove(slot);
+        self.by_id.remove(&id);
+        if let Some(moved) = self.phones.get(slot) {
+            self.by_id.insert(moved.id(), slot);
+        }
+        self.index.get_mut().note_retired(&phone);
+        Ok(phone)
     }
 
     /// The polling interval for benchmark measurement.
@@ -135,22 +214,96 @@ impl PhoneMgr {
     /// A phone by id.
     #[must_use]
     pub fn phone(&self, id: PhoneId) -> Option<&PhoneDevice> {
-        self.phones.iter().find(|p| p.id() == id)
+        self.by_id.get(&id).map(|&slot| &self.phones[slot])
     }
 
     /// Mutable access to a phone by id.
+    ///
+    /// The phone is marked dirty in the availability index and re-derived
+    /// on the next fleet query, so arbitrary mutations (crash injection,
+    /// profile swaps, run clearing) stay visible to `select`/`available`
+    /// without dedicated hooks. Prefer the explicit manager APIs
+    /// ([`PhoneMgr::inject_crash`], [`PhoneMgr::reboot`],
+    /// [`PhoneMgr::set_phone_profile`]) where one exists.
     pub fn phone_mut(&mut self, id: PhoneId) -> Option<&mut PhoneDevice> {
-        self.phones.iter_mut().find(|p| p.id() == id)
+        let slot = *self.by_id.get(&id)?;
+        self.index.get_mut().mark_dirty(id);
+        Some(&mut self.phones[slot])
+    }
+
+    /// Internal mutable access that does *not* dirty the index — for
+    /// operations that cannot change availability (measurement RNG draws)
+    /// or that re-index explicitly afterwards.
+    fn device_mut(&mut self, id: PhoneId) -> Option<&mut PhoneDevice> {
+        let slot = *self.by_id.get(&id)?;
+        Some(&mut self.phones[slot])
+    }
+
+    /// Re-indexes one phone after a manager-performed mutation.
+    fn touch(&mut self, id: PhoneId) {
+        let slot = self.by_id[&id];
+        let Self { phones, index, .. } = self;
+        index.get_mut().touch(&phones[slot]);
+    }
+
+    /// Drains due availability transitions and dirty phones up to `now`,
+    /// then (debug builds) asserts the index matches a full rescan.
+    fn sync_index(&self, now: SimInstant) {
+        let mut idx = self.index.borrow_mut();
+        idx.sync(now, &self.phones, &self.by_id);
+        #[cfg(debug_assertions)]
+        idx.assert_parity(&self.phones);
+    }
+
+    /// Takes a phone offline (ADB unreachable) from `at` on, until
+    /// [`PhoneMgr::reboot`]. `at` may lie in the future; the index flips
+    /// the phone to unavailable exactly when the clock reaches it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimdcError::PhoneUnavailable`] for unknown ids.
+    pub fn inject_crash(&mut self, id: PhoneId, at: SimInstant) -> Result<()> {
+        self.device_mut(id)
+            .ok_or(SimdcError::PhoneUnavailable(id))?
+            .inject_crash(at);
+        self.touch(id);
+        Ok(())
+    }
+
+    /// Reboots a crashed phone: clears the crash state and any stale run,
+    /// making the device selectable again immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimdcError::PhoneUnavailable`] for unknown ids.
+    pub fn reboot(&mut self, id: PhoneId) -> Result<()> {
+        self.device_mut(id)
+            .ok_or(SimdcError::PhoneUnavailable(id))?
+            .reboot();
+        self.touch(id);
+        Ok(())
+    }
+
+    /// Replaces a phone's behaviour profile, keeping the per-grade
+    /// effective-profile sums exact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimdcError::PhoneUnavailable`] for unknown ids and
+    /// propagates profile validation errors.
+    pub fn set_phone_profile(&mut self, id: PhoneId, profile: PhoneProfile) -> Result<()> {
+        self.device_mut(id)
+            .ok_or(SimdcError::PhoneUnavailable(id))?
+            .set_profile(profile)?;
+        self.touch(id);
+        Ok(())
     }
 
     /// Number of phones of `grade` (optionally filtered by provenance).
+    /// O(1) from the registration totals.
     #[must_use]
     pub fn count(&self, grade: DeviceGrade, provenance: Option<Provenance>) -> usize {
-        self.phones
-            .iter()
-            .filter(|p| p.grade() == grade)
-            .filter(|p| provenance.is_none_or(|pr| p.provenance() == pr))
-            .count()
+        self.index.borrow().total(grade, provenance)
     }
 
     /// The *effective* behaviour profile of a grade: the nominal grade
@@ -159,65 +312,91 @@ impl PhoneMgr {
     /// [`PhoneProfile::for_grade`]; once stragglers slow individual
     /// phones down, the effective durations stretch accordingly — which is
     /// what makes fleet perturbations visible to task execution times.
+    ///
+    /// Returns `None` when the fleet holds no phone of `grade` (drained by
+    /// churn or never provisioned) — there is no device whose behaviour
+    /// the profile could describe. O(1) from the per-grade running sums.
     #[must_use]
-    pub fn effective_profile(&self, grade: DeviceGrade) -> PhoneProfile {
+    pub fn try_effective_profile(&self, grade: DeviceGrade) -> Option<PhoneProfile> {
+        self.sync_index(SimInstant::EPOCH); // flush dirty profile changes
+        let sums = self.index.borrow().sums(grade);
+        if sums.n == 0 {
+            return None;
+        }
         let mut profile = PhoneProfile::for_grade(grade);
-        let (mut n, mut train_secs, mut startup_secs) = (0u32, 0.0f64, 0.0f64);
-        for p in self.phones.iter().filter(|p| p.grade() == grade) {
-            n += 1;
-            train_secs += p.profile().train_duration.as_secs_f64();
-            startup_secs += p.profile().framework_startup.as_secs_f64();
-        }
-        if n > 0 {
-            profile.train_duration = SimDuration::from_secs_f64(train_secs / f64::from(n));
-            profile.framework_startup = SimDuration::from_secs_f64(startup_secs / f64::from(n));
-        }
-        profile
+        profile.train_duration = SimDuration::from_secs_f64(sums.train_secs / f64::from(sums.n));
+        profile.framework_startup =
+            SimDuration::from_secs_f64(sums.startup_secs / f64::from(sums.n));
+        Some(profile)
     }
 
-    /// Phones of `grade` idle (and healthy) at `now`.
+    /// [`PhoneMgr::try_effective_profile`], falling back to the nominal
+    /// paper profile for a grade with no registered phones. Callers that
+    /// must not plan against a phantom fleet should use the `try_` variant
+    /// and surface the `None`.
+    #[must_use]
+    pub fn effective_profile(&self, grade: DeviceGrade) -> PhoneProfile {
+        self.try_effective_profile(grade)
+            .unwrap_or_else(|| PhoneProfile::for_grade(grade))
+    }
+
+    /// Phones of `grade` idle (and healthy) at `now`. O(k log F) in the
+    /// transitions due since the last query, not the fleet size; assumes
+    /// non-decreasing `now` across queries.
     #[must_use]
     pub fn available(&self, grade: DeviceGrade, now: SimInstant) -> usize {
-        self.phones
-            .iter()
-            .filter(|p| p.grade() == grade && !p.is_busy(now) && !p.is_crashed(now))
-            .count()
+        self.sync_index(now);
+        self.index.borrow().free_count(grade)
     }
 
     /// Selects `count` idle phones of `grade` at `now`, preferring local
-    /// devices over MSP rentals.
+    /// devices over MSP rentals (ids ascending within each provenance).
+    ///
+    /// Selection is a pure query — phones become busy only when a run is
+    /// submitted — so it borrows `self` immutably; the availability index
+    /// syncs behind a `RefCell`.
     ///
     /// # Errors
     ///
     /// Returns [`SimdcError::ResourceExhausted`] if fewer than `count` are
     /// idle.
     pub fn select(
-        &mut self,
+        &self,
         grade: DeviceGrade,
         count: usize,
         now: SimInstant,
     ) -> Result<Vec<PhoneId>> {
-        let mut candidates: Vec<&PhoneDevice> = self
-            .phones
-            .iter()
-            .filter(|p| p.grade() == grade && !p.is_busy(now) && !p.is_crashed(now))
-            .collect();
-        candidates.sort_by_key(|p| {
-            (
-                match p.provenance() {
-                    Provenance::Local => 0u8,
-                    Provenance::Msp => 1,
-                },
-                p.id(),
-            )
-        });
-        if candidates.len() < count {
-            return Err(SimdcError::ResourceExhausted {
-                requested: format!("{count} {grade} phones"),
-                available: format!("{} {grade} phones", candidates.len()),
-            });
+        if count == 0 {
+            return Ok(Vec::new());
         }
-        Ok(candidates[..count].iter().map(|p| p.id()).collect())
+        self.sync_index(now);
+        let idx = self.index.borrow();
+        let exhausted = |available: usize| SimdcError::ResourceExhausted {
+            requested: format!("{count} {grade} phones"),
+            available: format!("{available} {grade} phones"),
+        };
+        // O(1) shortfall check so an unsatisfiable request never walks the
+        // free set (the scheduler probes depleted grades repeatedly).
+        if idx.free_count(grade) < count {
+            return Err(exhausted(idx.free_count(grade)));
+        }
+        let mut picked = Vec::with_capacity(count);
+        for id in idx.iter_free(grade) {
+            // Defensive re-verification: free sets are exact for
+            // monotonically advancing query times; this guards the
+            // invariant even if a caller runs time backwards.
+            let phone = &self.phones[self.by_id[&id]];
+            if phone.is_busy(now) || phone.is_crashed(now) {
+                continue;
+            }
+            picked.push(id);
+            if picked.len() == count {
+                return Ok(picked);
+            }
+        }
+        // Only reachable when re-verification skipped stale entries, i.e.
+        // a caller violated the monotone-clock assumption.
+        Err(exhausted(picked.len()))
     }
 
     /// Assigns a run plan to a phone.
@@ -227,8 +406,12 @@ impl PhoneMgr {
     /// Returns [`SimdcError::PhoneUnavailable`] for unknown, busy or
     /// crashed phones.
     pub fn submit_run(&mut self, id: PhoneId, plan: RunPlan) -> Result<()> {
-        let phone = self.phone_mut(id).ok_or(SimdcError::PhoneUnavailable(id))?;
-        phone.assign_run(plan)
+        let phone = self
+            .device_mut(id)
+            .ok_or(SimdcError::PhoneUnavailable(id))?;
+        phone.assign_run(plan)?;
+        self.touch(id);
+        Ok(())
     }
 
     /// Executes the paper's measurement command battery against one phone
@@ -242,7 +425,11 @@ impl PhoneMgr {
     /// malformed. A phone without an active run yields an error too — only
     /// benchmarking devices inside a run are polled.
     pub fn poll(&mut self, id: PhoneId, now: SimInstant) -> Result<PerfSample> {
-        let phone = self.phone_mut(id).ok_or(SimdcError::PhoneUnavailable(id))?;
+        // Measurement draws device noise (mutating the RNG stream) but
+        // never changes availability, so it bypasses the dirty tracking.
+        let phone = self
+            .device_mut(id)
+            .ok_or(SimdcError::PhoneUnavailable(id))?;
         let stage = phone.stage_at(now).ok_or_else(|| {
             SimdcError::AdbCommand(format!("phone {id} has no active run at {now}"))
         })?;
@@ -381,8 +568,19 @@ mod tests {
     }
 
     #[test]
+    fn scaled_paper_fleet_preserves_total_and_ratio() {
+        for total in [30, 100, 1_000, 100_000, 999_999] {
+            let spec = FleetSpec::scaled_paper(total);
+            assert_eq!(spec.total(), total, "total {total}");
+        }
+        let spec = FleetSpec::scaled_paper(300_000);
+        assert_eq!(*spec.local.get(DeviceGrade::High), 40_000);
+        assert_eq!(*spec.msp.get(DeviceGrade::High), 130_000);
+    }
+
+    #[test]
     fn select_prefers_local_phones() {
-        let mut mgr = PhoneMgr::paper_default(2);
+        let mgr = PhoneMgr::paper_default(2);
         let picked = mgr.select(DeviceGrade::High, 5, t(0)).unwrap();
         assert_eq!(picked.len(), 5);
         let locals = picked
@@ -393,8 +591,17 @@ mod tests {
     }
 
     #[test]
+    fn select_is_a_pure_query_on_a_shared_reference() {
+        let mgr = PhoneMgr::paper_default(12);
+        let shared: &PhoneMgr = &mgr;
+        let a = shared.select(DeviceGrade::High, 3, t(0)).unwrap();
+        let b = shared.select(DeviceGrade::High, 3, t(0)).unwrap();
+        assert_eq!(a, b, "selection must not consume availability");
+    }
+
+    #[test]
     fn select_fails_when_insufficient() {
-        let mut mgr = PhoneMgr::paper_default(3);
+        let mgr = PhoneMgr::paper_default(3);
         assert!(mgr.select(DeviceGrade::High, 18, t(0)).is_err());
     }
 
@@ -409,6 +616,63 @@ mod tests {
         assert_eq!(mgr.available(DeviceGrade::High, t(5)), 16);
         let next = mgr.select(DeviceGrade::High, 17, t(5));
         assert!(next.is_err());
+    }
+
+    #[test]
+    fn availability_returns_when_the_run_ends() {
+        let mut mgr = PhoneMgr::paper_default(13);
+        let id = mgr.select(DeviceGrade::High, 1, t(0)).unwrap()[0];
+        let plan = mgr
+            .plan_for(id, TaskId(1), t(0), 1, SimDuration::ZERO)
+            .unwrap();
+        let end = plan.end();
+        mgr.submit_run(id, plan).unwrap();
+        assert_eq!(mgr.available(DeviceGrade::High, t(5)), 16);
+        // The first query at/after the run's end sees the phone free again
+        // without any explicit release call.
+        assert_eq!(mgr.available(DeviceGrade::High, end), 17);
+        let again = mgr.select(DeviceGrade::High, 17, end).unwrap();
+        assert!(again.contains(&id));
+    }
+
+    #[test]
+    fn crash_and_reboot_flow_through_the_index() {
+        let mut mgr = PhoneMgr::paper_default(14);
+        let id = mgr.select(DeviceGrade::High, 1, t(0)).unwrap()[0];
+        // Future crash: still available until the onset instant.
+        mgr.inject_crash(id, t(50)).unwrap();
+        assert_eq!(mgr.available(DeviceGrade::High, t(10)), 17);
+        assert_eq!(mgr.available(DeviceGrade::High, t(50)), 16);
+        assert!(mgr.select(DeviceGrade::High, 17, t(60)).is_err());
+        mgr.reboot(id).unwrap();
+        assert_eq!(mgr.available(DeviceGrade::High, t(60)), 17);
+        assert!(mgr.inject_crash(PhoneId(9_999), t(0)).is_err());
+    }
+
+    #[test]
+    fn retire_removes_phones_from_counts_and_selection() {
+        let mut mgr = PhoneMgr::paper_default(15);
+        let id = mgr.select(DeviceGrade::High, 1, t(0)).unwrap()[0];
+        let retired = mgr.retire(id).unwrap();
+        assert_eq!(retired.id(), id);
+        assert_eq!(mgr.total(), 29);
+        assert_eq!(mgr.count(DeviceGrade::High, None), 16);
+        assert_eq!(mgr.available(DeviceGrade::High, t(0)), 16);
+        assert!(mgr.phone(id).is_none());
+        assert!(mgr.retire(id).is_err(), "double retire must fail");
+        // Draining a grade entirely leaves no effective profile.
+        let low_ids: Vec<PhoneId> = mgr
+            .phones()
+            .iter()
+            .filter(|p| p.grade() == DeviceGrade::Low)
+            .map(|p| p.id())
+            .collect();
+        for low in low_ids {
+            mgr.retire(low).unwrap();
+        }
+        assert_eq!(mgr.count(DeviceGrade::Low, None), 0);
+        assert!(mgr.try_effective_profile(DeviceGrade::Low).is_none());
+        assert!(mgr.try_effective_profile(DeviceGrade::High).is_some());
     }
 
     #[test]
@@ -521,7 +785,7 @@ mod tests {
             .id();
         let mut slowed = nominal.clone();
         slowed.train_duration = SimDuration::from_secs_f64(nominal.beta().as_secs_f64() * 2.0);
-        mgr.phone_mut(id).unwrap().set_profile(slowed).unwrap();
+        mgr.set_phone_profile(id, slowed).unwrap();
         let eff = mgr.effective_profile(DeviceGrade::High);
         let expected = nominal.beta().as_secs_f64() * (16.0 + 2.0) / 17.0;
         assert!((eff.train_duration.as_secs_f64() - expected).abs() < 1e-6);
@@ -531,6 +795,24 @@ mod tests {
             empty.effective_profile(DeviceGrade::Low).train_duration,
             PhoneProfile::low().train_duration
         );
+    }
+
+    #[test]
+    fn raw_phone_mut_mutations_reach_the_index() {
+        let mut mgr = PhoneMgr::paper_default(16);
+        let id = mgr.select(DeviceGrade::High, 1, t(0)).unwrap()[0];
+        // Mutate through the raw accessor (no dedicated hook): the dirty
+        // tracking must fold the change into the next query.
+        mgr.phone_mut(id).unwrap().inject_crash(t(0));
+        assert_eq!(mgr.available(DeviceGrade::High, t(1)), 16);
+        mgr.phone_mut(id).unwrap().reboot();
+        assert_eq!(mgr.available(DeviceGrade::High, t(2)), 17);
+        // Profile changes through the raw accessor reach the sums too.
+        let mut slowed = PhoneProfile::for_grade(DeviceGrade::High);
+        slowed.train_duration = slowed.train_duration * 3;
+        mgr.phone_mut(id).unwrap().set_profile(slowed).unwrap();
+        let eff = mgr.effective_profile(DeviceGrade::High);
+        assert!(eff.train_duration > PhoneProfile::for_grade(DeviceGrade::High).train_duration);
     }
 
     #[test]

@@ -1,0 +1,188 @@
+//! Property tests for the grade-indexed availability accounting.
+//!
+//! The [`PhoneMgr`] answers `select` / `available` / `count` /
+//! `effective_profile` from an incremental per-`(grade, provenance)` index
+//! instead of rescanning the fleet. These properties drive the manager
+//! through arbitrary operation sequences — selection, run submission,
+//! future-dated crashes, reboots, profile slowdowns, retirement, fresh
+//! registration and raw `phone_mut` mutations — with a monotonically
+//! advancing clock, and after every step compare each query against a
+//! brute-force rescan of the device states. (Debug builds additionally
+//! self-check inside the manager; this suite is the external oracle and
+//! also runs in release mode.)
+
+use proptest::prelude::*;
+use simdc_phone::{PhoneDevice, PhoneMgr, Provenance};
+use simdc_types::{DeviceGrade, PhoneId, SimDuration, SimInstant, TaskId};
+
+/// One scripted operation: `(opcode, phone pick, small duration knob)`.
+type Op = (u8, u8, u16);
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec((0u8..8, 0u8..64, 1u16..120), 1..48)
+}
+
+fn brute_available(mgr: &PhoneMgr, grade: DeviceGrade, now: SimInstant) -> usize {
+    mgr.phones()
+        .iter()
+        .filter(|p| p.grade() == grade && !p.is_busy(now) && !p.is_crashed(now))
+        .count()
+}
+
+/// The full idle set in the contract order: local before MSP, ids
+/// ascending — what the pre-index sort produced.
+fn brute_selection(mgr: &PhoneMgr, grade: DeviceGrade, now: SimInstant) -> Vec<PhoneId> {
+    let mut free: Vec<&PhoneDevice> = mgr
+        .phones()
+        .iter()
+        .filter(|p| p.grade() == grade && !p.is_busy(now) && !p.is_crashed(now))
+        .collect();
+    free.sort_by_key(|p| {
+        (
+            match p.provenance() {
+                Provenance::Local => 0u8,
+                Provenance::Msp => 1,
+            },
+            p.id(),
+        )
+    });
+    free.iter().map(|p| p.id()).collect()
+}
+
+/// Mean `(train_duration, framework_startup)` seconds over the grade.
+fn brute_mean_profile_secs(mgr: &PhoneMgr, grade: DeviceGrade) -> Option<(f64, f64)> {
+    let (mut n, mut train, mut startup) = (0usize, 0.0f64, 0.0f64);
+    for p in mgr.phones().iter().filter(|p| p.grade() == grade) {
+        n += 1;
+        train += p.profile().train_duration.as_secs_f64();
+        startup += p.profile().framework_startup.as_secs_f64();
+    }
+    (n > 0).then(|| (train / n as f64, startup / n as f64))
+}
+
+fn pick_phone(mgr: &PhoneMgr, sel: u8) -> Option<PhoneId> {
+    if mgr.total() == 0 {
+        return None;
+    }
+    Some(mgr.phones()[sel as usize % mgr.total()].id())
+}
+
+proptest! {
+    /// After any operation sequence, every index-backed query agrees with
+    /// a brute-force rescan at the current instant.
+    #[test]
+    fn index_matches_brute_force_rescan(script in ops()) {
+        let mut mgr = PhoneMgr::paper_default(17);
+        let mut now = SimInstant::EPOCH;
+        let mut next_fresh_id = 1_000u32;
+        let mut task_seq = 1u64;
+
+        for (op, sel, dt) in script {
+            let dt = SimDuration::from_secs(u64::from(dt));
+            match op {
+                // Let virtual time pass: pending run-ends and scheduled
+                // crash onsets between `now` and `now + dt` must surface.
+                0 => now += dt,
+                // Submit a run to the cheapest free phone of a grade.
+                1 => {
+                    let grade = DeviceGrade::ALL[sel as usize % 2];
+                    if let Ok(ids) = mgr.select(grade, 1, now) {
+                        let plan = mgr
+                            .plan_for(ids[0], TaskId(task_seq), now, 1 + sel as usize % 3, dt)
+                            .expect("selected phone accepts a plan");
+                        task_seq += 1;
+                        mgr.submit_run(ids[0], plan).expect("selected phone is idle");
+                    }
+                }
+                // Crash with a (possibly future) onset.
+                2 => {
+                    if let Some(id) = pick_phone(&mgr, sel) {
+                        mgr.inject_crash(id, now + dt).unwrap();
+                    }
+                }
+                3 => {
+                    if let Some(id) = pick_phone(&mgr, sel) {
+                        mgr.reboot(id).unwrap();
+                    }
+                }
+                // Straggler-style slowdown through the manager hook.
+                4 => {
+                    if let Some(id) = pick_phone(&mgr, sel) {
+                        let mut profile = mgr.phone(id).unwrap().profile().clone();
+                        profile.train_duration = profile.train_duration.mul_f64(1.5);
+                        profile.framework_startup = profile.framework_startup.mul_f64(1.25);
+                        mgr.set_phone_profile(id, profile).unwrap();
+                    }
+                }
+                // Churn: retire / register.
+                5 => {
+                    if let Some(id) = pick_phone(&mgr, sel) {
+                        mgr.retire(id).unwrap();
+                    }
+                }
+                6 => {
+                    let grade = DeviceGrade::ALL[sel as usize % 2];
+                    let prov = if sel % 4 < 2 { Provenance::Local } else { Provenance::Msp };
+                    let id = PhoneId(next_fresh_id);
+                    next_fresh_id += 1;
+                    mgr.register(PhoneDevice::new(id, format!("fresh-{}", id.0), grade, prov, 17))
+                        .expect("fresh ids never collide");
+                }
+                // Raw phone_mut mutation (crash without the manager hook):
+                // must reach the index via dirty tracking.
+                _ => {
+                    if let Some(id) = pick_phone(&mgr, sel) {
+                        mgr.phone_mut(id).unwrap().inject_crash(now);
+                    }
+                }
+            }
+
+            for grade in DeviceGrade::ALL {
+                let expected = brute_selection(&mgr, grade, now);
+                prop_assert_eq!(
+                    mgr.available(grade, now),
+                    brute_available(&mgr, grade, now),
+                    "available({grade}) diverged at {now}"
+                );
+                prop_assert_eq!(
+                    mgr.count(grade, None),
+                    mgr.phones().iter().filter(|p| p.grade() == grade).count(),
+                    "count({grade}) diverged"
+                );
+                // Selection returns the brute-force prefix, in order; a
+                // zero-count request is satisfied trivially.
+                prop_assert!(mgr.select(grade, 0, now).unwrap().is_empty());
+                let want = expected.len().min(3);
+                if want > 0 {
+                    let picked = mgr.select(grade, want, now).expect("enough free phones");
+                    prop_assert_eq!(&picked[..], &expected[..want], "selection order diverged");
+                }
+                prop_assert!(
+                    mgr.select(grade, expected.len() + 1, now).is_err(),
+                    "select past the free count must exhaust"
+                );
+                // Effective profile means match a rescan.
+                match (mgr.try_effective_profile(grade), brute_mean_profile_secs(&mgr, grade)) {
+                    (Some(profile), Some((train_mean, startup_mean))) => {
+                        let train = profile.train_duration.as_secs_f64();
+                        prop_assert!(
+                            (train - train_mean).abs() <= 1e-6 * train_mean.max(1.0),
+                            "effective train duration drifted for {grade}: {train} vs {train_mean}"
+                        );
+                        let startup = profile.framework_startup.as_secs_f64();
+                        prop_assert!(
+                            (startup - startup_mean).abs() <= 1e-6 * startup_mean.max(1.0),
+                            "effective startup drifted for {grade}: {startup} vs {startup_mean}"
+                        );
+                    }
+                    (None, None) => {}
+                    (got, want) => prop_assert!(
+                        false,
+                        "effective-profile presence diverged for {grade}: \
+                         index {got:?} vs rescan {want:?}"
+                    ),
+                }
+            }
+        }
+    }
+}

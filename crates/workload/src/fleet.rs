@@ -144,16 +144,20 @@ impl FleetDynamics {
             if !rng.chance(self.straggler_frac) {
                 continue;
             }
-            let phone = mgr.phone_mut(id).expect("id from the same manager");
-            let mut profile = phone.profile().clone();
+            let mut profile = mgr
+                .phone(id)
+                .expect("id from the same manager")
+                .profile()
+                .clone();
             profile.train_duration = SimDuration::from_secs_f64(
                 profile.train_duration.as_secs_f64() * self.straggler_slowdown,
             );
             profile.framework_startup = SimDuration::from_secs_f64(
                 profile.framework_startup.as_secs_f64() * self.straggler_slowdown,
             );
-            phone
-                .set_profile(profile)
+            // Through the manager, not raw device access, so the grade
+            // index's effective-profile sums track the slowdown exactly.
+            mgr.set_phone_profile(id, profile)
                 .expect("slowed profile keeps its grade and stays valid");
             slowed += 1;
         }

@@ -57,6 +57,6 @@ pub mod template;
 
 pub use arrival::ArrivalProcess;
 pub use fleet::{FleetDynamics, FleetEvent};
-pub use scenario::{library, Scenario, ScenarioSummary};
+pub use scenario::{library, mega_fleet, Scenario, ScenarioSummary};
 pub use source::SampledSource;
 pub use template::{GradeScheme, TaskTemplate};

@@ -145,10 +145,10 @@ impl Scenario {
             engine.schedule_in(*offset, Ev::Fleet(*event));
         }
         engine.schedule_in(self.dispatch_interval, Ev::Dispatch);
-        engine.run();
+        let outer_events = engine.run();
 
         let world = engine.into_world();
-        summarize(self, seed, &offsets, world, stragglers)
+        summarize(self, seed, &offsets, world, stragglers, outer_events)
     }
 }
 
@@ -201,20 +201,23 @@ impl World for ScenarioWorld {
                 self.platform.admit_now();
             }
             Ev::Fleet(FleetEvent::Crash(id)) => {
-                if let Some(phone) = self.platform.phones_mut().phone_mut(id) {
-                    if !phone.is_crashed(ctx.now()) {
-                        phone.inject_crash(ctx.now());
-                        self.crashes += 1;
-                        ctx.schedule_in(self.reboot_after, Ev::Fleet(FleetEvent::Reboot(id)));
-                    }
+                // Through the manager APIs (not raw phone_mut), so the
+                // crash lands in the availability index the instant it
+                // fires rather than on the next dirty flush.
+                let phones = self.platform.phones_mut();
+                if phones.phone(id).is_some_and(|p| !p.is_crashed(ctx.now())) {
+                    phones
+                        .inject_crash(id, ctx.now())
+                        .expect("victim exists in the fleet");
+                    self.crashes += 1;
+                    ctx.schedule_in(self.reboot_after, Ev::Fleet(FleetEvent::Reboot(id)));
                 }
             }
             Ev::Fleet(FleetEvent::Reboot(id)) => {
-                if let Some(phone) = self.platform.phones_mut().phone_mut(id) {
-                    if phone.is_crashed(ctx.now()) {
-                        phone.reboot();
-                        self.reboots += 1;
-                    }
+                let phones = self.platform.phones_mut();
+                if phones.phone(id).is_some_and(|p| p.is_crashed(ctx.now())) {
+                    phones.reboot(id).expect("crashed phone exists");
+                    self.reboots += 1;
                 }
             }
             Ev::Dispatch => {
@@ -261,6 +264,10 @@ pub struct ScenarioSummary {
     pub reboots: u64,
     /// Phones slowed at scenario start.
     pub stragglers: u64,
+    /// Discrete events processed: outer engine events (arrivals, fleet
+    /// perturbations, dispatch ticks) plus platform completion events —
+    /// the numerator of the scale bench's events-per-second figure.
+    pub events: u64,
     /// Virtual end-to-end makespan (platform clock at drain), seconds.
     pub makespan_secs: f64,
     /// Mean queueing delay (submission → start) of completed tasks,
@@ -283,6 +290,7 @@ fn summarize(
     offsets: &[SimDuration],
     world: ScenarioWorld,
     stragglers: u64,
+    outer_events: u64,
 ) -> ScenarioSummary {
     let mut waits: Vec<f64> = Vec::new();
     let mut runs: Vec<f64> = Vec::new();
@@ -326,6 +334,7 @@ fn summarize(
         crashes: world.crashes,
         reboots: world.reboots,
         stragglers,
+        events: outer_events + world.platform.completion_events(),
         makespan_secs: world
             .platform
             .status()
@@ -444,6 +453,63 @@ pub fn library() -> Vec<Scenario> {
             },
         },
     ]
+}
+
+/// The million-phone scale scenario: superposed bursty arrivals of small,
+/// phone-heavy tasks over a fleet sized by the *platform config* (pair it
+/// with [`simdc_phone::FleetSpec::scaled_paper`] at 100k–1M phones — the
+/// scenario itself is fleet-size agnostic). Light churn and a straggler
+/// tail keep the availability index under continuous transition pressure;
+/// every task runs its devices on the phone cluster
+/// (`FixedLogicalFraction(0.0)`) and reserves one benchmark phone, so
+/// `select`, `available` and `effective_profile` all sit on the task-plan
+/// hot path. Low per-task bundle claims let ~50 tasks run concurrently.
+///
+/// The `scale` bench bin (`crates/bench`) drives this scenario and reports
+/// wall-clock throughput and events per second (`BENCH_scale.json`).
+#[must_use]
+pub fn mega_fleet() -> Scenario {
+    let mins = SimDuration::from_mins;
+    Scenario {
+        name: "mega_fleet".into(),
+        description: "100k–1M-phone fleet under superposed bursty arrivals of phone-heavy tasks"
+            .into(),
+        horizon: mins(30),
+        dispatch_interval: mins(1),
+        arrivals: ArrivalProcess::Superpose(vec![
+            ArrivalProcess::Poisson { rate_per_min: 12.0 },
+            ArrivalProcess::Bursty {
+                base_per_min: 2.0,
+                burst_multiplier: 10.0,
+                burst_every: mins(6),
+                burst_len: mins(1),
+            },
+        ]),
+        template: TaskTemplate {
+            rounds: (1, 1),
+            devices_per_grade: (4, 8),
+            benchmark_phones: 1,
+            allocation: simdc_core::AllocationPolicy::FixedLogicalFraction(0.0),
+            high: crate::GradeScheme {
+                unit_bundles: 4,
+                units_per_device: 8,
+                phones: 16,
+            },
+            low: crate::GradeScheme {
+                unit_bundles: 2,
+                units_per_device: 2,
+                phones: 12,
+            },
+            ..TaskTemplate::default()
+        },
+        fleet: FleetDynamics {
+            mean_time_between_crashes: Some(SimDuration::from_secs(45)),
+            reboot_after: mins(2),
+            straggler_frac: 0.05,
+            straggler_slowdown: 2.0,
+            ..FleetDynamics::calm()
+        },
+    }
 }
 
 #[cfg(test)]
@@ -569,6 +635,29 @@ mod tests {
             slowed.mean_run_secs,
             fast.mean_run_secs
         );
+    }
+
+    #[test]
+    fn mega_fleet_is_byte_deterministic_over_a_scaled_fleet() {
+        let scenario = mega_fleet().scaled(0.1); // 3-minute horizon
+        scenario.validate().unwrap();
+        let data = dataset();
+        let config = || PlatformConfig {
+            fleet: simdc_phone::FleetSpec::scaled_paper(1_500),
+            ..PlatformConfig::default()
+        };
+        let a = scenario.run(config(), &data, 21);
+        let b = scenario.run(config(), &data, 21);
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "same seed over a 1500-phone fleet must be byte-identical"
+        );
+        assert!(a.submitted > 0, "{a:?}");
+        assert!(a.completed > 0, "{a:?}");
+        assert!(a.crashes > 0, "churn must fire at this horizon: {a:?}");
+        // Every arrival, perturbation and completion is an event.
+        assert!(a.events > a.arrivals + a.completed, "{a:?}");
     }
 
     #[test]
