@@ -1,0 +1,7 @@
+//! Elasticity bench: autoscaled cloud tier under bursty logical-heavy
+//! load (`BENCH_elasticity.json`).
+
+fn main() {
+    let opts = simdc_bench::ExpOptions::from_args();
+    simdc_bench::exp::elasticity::run(&opts);
+}

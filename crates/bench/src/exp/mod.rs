@@ -4,6 +4,7 @@
 //! stdout and writes a machine-readable JSON result under `results/`.
 //! `EXPERIMENTS.md` records the paper-vs-measured comparison.
 
+pub mod elasticity;
 pub mod fig10;
 pub mod fig11;
 pub mod fig5;
@@ -67,6 +68,12 @@ pub const ALL: &[(&str, ExpRunner)] = &[
     // name doubles as the JSON stem, so the suite emits BENCH_scale.json.
     ("BENCH_scale", |opts| {
         scale::run(opts);
+    }),
+    // The elasticity bench certifies the cloud tier's scale-out /
+    // scale-in behavior and emits its node/cost/utilization time series
+    // (BENCH_elasticity.json, archived by CI).
+    ("BENCH_elasticity", |opts| {
+        elasticity::run(opts);
     }),
 ];
 

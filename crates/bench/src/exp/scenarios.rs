@@ -75,7 +75,7 @@ mod tests {
             ..ExpOptions::default()
         };
         let first = run(&opts);
-        assert_eq!(first.len(), 6, "one summary per library scenario");
+        assert_eq!(first.len(), 8, "one summary per library scenario");
         for s in &first {
             assert_eq!(s.completed + s.failed, s.submitted, "{s:?}");
         }

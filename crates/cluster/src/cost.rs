@@ -29,6 +29,14 @@ pub struct CostModel {
     /// Multiplicative jitter applied to each device's compute time,
     /// uniform in `[1 - jitter_frac, 1 + jitter_frac]`.
     pub jitter_frac: f64,
+    /// Elastic node boot latency: a scale-up's capacity only becomes
+    /// visible to placement this long after it was requested (k8s node
+    /// provisioning + kubelet ready).
+    pub node_boot: SimDuration,
+    /// Cost of keeping one node up for one hour, in abstract currency
+    /// units — what the autoscaler's budget cap and the cost meter price
+    /// node time with.
+    pub node_hourly_cost: f64,
 }
 
 impl Default for CostModel {
@@ -49,6 +57,10 @@ impl Default for CostModel {
                 SimDuration::from_secs(26),
             ),
             jitter_frac: 0.05,
+            // ~45 s from scale-up request to schedulable node, the order
+            // k8s cluster autoscalers achieve on warm capacity pools.
+            node_boot: SimDuration::from_secs(45),
+            node_hourly_cost: 1.0,
         }
     }
 }
@@ -74,6 +86,12 @@ impl CostModel {
                     "compute_per_device[{grade}] must be positive"
                 )));
             }
+        }
+        if !self.node_hourly_cost.is_finite() || self.node_hourly_cost < 0.0 {
+            return Err(InvalidConfig(format!(
+                "node_hourly_cost must be finite and >= 0, got {}",
+                self.node_hourly_cost
+            )));
         }
         Ok(())
     }

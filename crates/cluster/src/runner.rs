@@ -1,4 +1,5 @@
-//! The Ray Runner: job submission and actor scheduling.
+//! The Ray Runner: job submission, placement-group lifecycle and actor
+//! scheduling on the elastic node pool.
 
 use std::collections::HashMap;
 
@@ -6,9 +7,10 @@ use serde::{Deserialize, Serialize};
 use simdc_simrt::RngStream;
 use simdc_types::{
     ActorId, DeviceGrade, DeviceId, NodeId, ResourceBundle, Result, RoundId, SimDuration,
-    SimdcError, TaskId,
+    SimInstant, SimdcError, TaskId,
 };
 
+use crate::autoscaler::{Autoscaler, AutoscalerConfig, CostMeter, ScalingAction};
 use crate::cost::CostModel;
 use crate::node::NodePool;
 use crate::placement::{PlacementGroup, PlacementGroupId};
@@ -18,7 +20,7 @@ use crate::placement::{PlacementGroup, PlacementGroupId};
 pub struct ClusterConfig {
     /// Capacity of one worker node.
     pub node_template: ResourceBundle,
-    /// Nodes started eagerly.
+    /// Nodes started eagerly (also the autoscaler's scale-in floor).
     pub initial_nodes: usize,
     /// Elastic-scaling ceiling.
     pub max_nodes: usize,
@@ -26,6 +28,8 @@ pub struct ClusterConfig {
     pub unit_bundle: ResourceBundle,
     /// Timing model.
     pub cost: CostModel,
+    /// Elastic autoscaling policy.
+    pub autoscaler: AutoscalerConfig,
 }
 
 impl Default for ClusterConfig {
@@ -37,6 +41,7 @@ impl Default for ClusterConfig {
             max_nodes: 16,
             unit_bundle: ResourceBundle::cores_gib(1, 1),
             cost: CostModel::default(),
+            autoscaler: AutoscalerConfig::default(),
         }
     }
 }
@@ -47,7 +52,7 @@ impl ClusterConfig {
     /// # Errors
     ///
     /// Returns `InvalidConfig` for empty bundles, zero node counts or an
-    /// invalid cost model.
+    /// invalid cost/autoscaler model.
     pub fn validate(&self) -> Result<()> {
         use SimdcError::InvalidConfig;
         if self.node_template.is_zero() {
@@ -67,7 +72,8 @@ impl ClusterConfig {
                 "unit_bundle must fit on a single node".into(),
             ));
         }
-        self.cost.validate()
+        self.cost.validate()?;
+        self.autoscaler.validate()
     }
 }
 
@@ -178,15 +184,50 @@ impl JobPlan {
     }
 }
 
-/// The logical-simulation cluster: node pool + Ray-style job submission.
+/// A point-in-time view of the elastic tier (what the elasticity bench
+/// samples into its time series).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterStats {
+    /// Physical nodes in any lifecycle state.
+    pub nodes: u64,
+    /// Nodes up and accepting placements.
+    pub ready: u64,
+    /// Nodes still booting.
+    pub booting: u64,
+    /// Nodes draining toward retirement.
+    pub draining: u64,
+    /// Nodes ever booted (including the initial set).
+    pub booted_total: u64,
+    /// Nodes ever retired.
+    pub retired_total: u64,
+    /// Largest physical footprint ever reached.
+    pub peak_nodes: u64,
+    /// Ready-capacity CPU utilization, in `[0, 1]`.
+    pub utilization: f64,
+    /// Cumulative node-time spend so far (accrued through the last
+    /// lifecycle advance).
+    pub cost_accrued: f64,
+}
+
+/// The logical-simulation cluster: elastic node pool + Ray-style job
+/// submission, living on the platform's virtual clock.
+///
+/// The platform owns the clock: it calls [`LogicalCluster::advance_to`]
+/// whenever its own clock moves, which promotes booting nodes, retires
+/// drained ones and accrues node cost. [`LogicalCluster::autoscale`] is the
+/// policy hook the platform invokes each scheduling pass with its queued
+/// demand.
 #[derive(Debug)]
 pub struct LogicalCluster {
     pool: NodePool,
     unit: ResourceBundle,
     cost: CostModel,
+    autoscaler: Autoscaler,
+    meter: CostMeter,
     groups: HashMap<PlacementGroupId, PlacementGroup>,
     next_group: u64,
     next_actor: u64,
+    clock: SimInstant,
 }
 
 impl LogicalCluster {
@@ -203,9 +244,12 @@ impl LogicalCluster {
             pool: NodePool::new(config.node_template, config.initial_nodes, config.max_nodes),
             unit: config.unit_bundle,
             cost: config.cost,
+            autoscaler: Autoscaler::new(config.autoscaler).with_min_nodes(config.initial_nodes),
+            meter: CostMeter::new(SimInstant::EPOCH),
             groups: HashMap::new(),
             next_group: 0,
             next_actor: 0,
+            clock: SimInstant::EPOCH,
         }
     }
 
@@ -221,10 +265,119 @@ impl LogicalCluster {
         &self.cost
     }
 
-    /// Unit bundles placeable right now (elasticity not included).
+    /// The cluster's clock — the instant of the last
+    /// [`LogicalCluster::advance_to`] (owned and driven by the platform).
+    #[must_use]
+    pub fn now(&self) -> SimInstant {
+        self.clock
+    }
+
+    /// Advances the elastic tier to `now`: accrues node cost at the
+    /// current footprint, promotes booting nodes whose ready instant has
+    /// passed, and retires idle draining nodes. Instants in the past are
+    /// ignored (the clock never rolls back).
+    pub fn advance_to(&mut self, now: SimInstant) {
+        if now < self.clock {
+            return;
+        }
+        self.meter
+            .accrue(self.pool.len(), self.cost.node_hourly_cost, now);
+        self.pool.advance_to(now);
+        self.clock = now;
+    }
+
+    /// The earliest instant a booting node becomes ready — where the
+    /// platform schedules its node-ready event. `None` when nothing is
+    /// booting.
+    #[must_use]
+    pub fn next_node_ready(&self) -> Option<SimInstant> {
+        self.pool.next_ready_at()
+    }
+
+    /// One autoscaling pass: reacts to `demand_units` of queued
+    /// unit-bundle demand at instant `now` (see [`Autoscaler::assess`]).
+    /// Scale-ups charge [`CostModel::node_boot`] before the capacity is
+    /// placeable; the returned action carries the ready instant.
+    pub fn autoscale(&mut self, demand_units: u64, now: SimInstant) -> ScalingAction {
+        self.autoscaler.assess(
+            &mut self.pool,
+            &self.unit,
+            demand_units,
+            self.cost.node_boot,
+            self.cost.node_hourly_cost,
+            now,
+        )
+    }
+
+    /// Unit bundles placeable right now on ready nodes.
     #[must_use]
     pub fn free_unit_bundles(&self) -> u64 {
         self.pool.placeable(&self.unit)
+    }
+
+    /// Unit bundles the *ready* nodes hold at full capacity — what the
+    /// Resource Manager's total resyncs to each scheduling pass.
+    #[must_use]
+    pub fn ready_unit_capacity(&self) -> u64 {
+        self.pool.unit_capacity(&self.unit)
+    }
+
+    /// Unit bundles the cluster could ever offer: the elastic ceiling
+    /// (`max_nodes`, further capped by the autoscaler's budget) at full
+    /// capacity. Admission feasibility checks against this, so a task
+    /// needing a scale-out is queued rather than rejected.
+    #[must_use]
+    pub fn capacity_ceiling_units(&self) -> u64 {
+        let cap = self
+            .autoscaler
+            .node_cap(&self.pool, self.cost.node_hourly_cost);
+        cap as u64 * self.pool.template().max_bundles(&self.unit)
+    }
+
+    /// Whether `(bundle, count)` requests could be placed together on the
+    /// ready nodes right now (side-effect-free trial).
+    #[must_use]
+    pub fn can_place_all(&self, requests: &[(ResourceBundle, u64)]) -> bool {
+        self.pool.can_place_all(requests)
+    }
+
+    /// Whether the requests could ever be placed at the elastic ceiling
+    /// (empty nodes, budget cap applied) — fragmentation-aware admission
+    /// feasibility.
+    #[must_use]
+    pub fn could_ever_place(&self, requests: &[(ResourceBundle, u64)]) -> bool {
+        let cap = self
+            .autoscaler
+            .node_cap(&self.pool, self.cost.node_hourly_cost);
+        self.pool.could_ever_place(requests, cap)
+    }
+
+    /// The actor resource bundle a job of `units_per_device` (`k`) uses.
+    #[must_use]
+    pub fn actor_bundle(&self, units_per_device: u64) -> ResourceBundle {
+        self.unit.scaled(units_per_device)
+    }
+
+    /// Cumulative node-time spend accrued so far.
+    #[must_use]
+    pub fn cost_accrued(&self) -> f64 {
+        self.meter.accrued()
+    }
+
+    /// Elasticity snapshot for reporting.
+    #[must_use]
+    pub fn stats(&self) -> ClusterStats {
+        ClusterStats {
+            nodes: self.pool.len() as u64,
+            ready: self.pool.ready_count() as u64,
+            booting: self.pool.booting_count() as u64,
+            draining: self.pool.draining_count() as u64,
+            booted_total: self.pool.booted_total(),
+            retired_total: self.pool.retired_total(),
+            peak_nodes: self.pool.peak_nodes() as u64,
+            utilization: self.pool.cpu_utilization(),
+            cost_accrued: self.meter.accrued(),
+        }
     }
 
     /// Number of active placement groups.
@@ -233,32 +386,49 @@ impl LogicalCluster {
         self.groups.len()
     }
 
-    /// Submits a job: reserves a placement group, splits devices over its
-    /// actors and returns the timed plan. Resources stay reserved until
-    /// [`LogicalCluster::release_job`].
-    ///
-    /// Devices are dealt to actors round-robin, so actor loads differ by at
-    /// most one device — matching the paper's "each actor sequentially
-    /// simulating multiple devices".
+    /// Atomically reserves a placement group of `count` copies of
+    /// `bundle` on the ready nodes. The group stays reserved — blocking
+    /// scale-in of its nodes — until [`LogicalCluster::release_job`].
     ///
     /// # Errors
     ///
-    /// Returns `InvalidConfig` for a malformed spec and
-    /// [`SimdcError::ResourceExhausted`] when the placement group does not
-    /// fit even after elastic scale-up.
-    pub fn submit_job(&mut self, job: &JobSpec, rng: &mut RngStream) -> Result<JobPlan> {
-        job.validate()?;
-        let actor_count = if job.devices.is_empty() {
-            0
-        } else {
-            (job.actor_count() as usize).min(job.devices.len())
-        };
-        let actor_bundle = self.unit.scaled(u64::from(job.units_per_device));
-        self.pool.scale_up_for(&actor_bundle, actor_count as u64);
-
+    /// Returns [`SimdcError::ResourceExhausted`] when the group does not
+    /// fit the *currently ready* capacity. Booting capacity does not
+    /// count: callers wait for the node-ready event and retry rather than
+    /// treating this as fatal.
+    pub fn acquire_group(
+        &mut self,
+        bundle: ResourceBundle,
+        count: usize,
+    ) -> Result<PlacementGroupId> {
         let pg_id = PlacementGroupId(self.next_group);
         self.next_group += 1;
-        let group = PlacementGroup::create(pg_id, &mut self.pool, actor_bundle, actor_count)?;
+        let group = PlacementGroup::create(pg_id, &mut self.pool, bundle, count)?;
+        self.groups.insert(pg_id, group);
+        Ok(pg_id)
+    }
+
+    /// Computes the timed per-round schedule of `job` over an already
+    /// acquired placement group: deal devices round-robin over the
+    /// group's actors, charge the per-round placement+spawn setup and the
+    /// per-actor data/model download, then walk each actor's queue
+    /// sequentially. The group's reservation is untouched — one group
+    /// serves every round of its task.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidConfig` for a malformed spec or an unknown group.
+    pub fn plan_round_on_group(
+        &mut self,
+        pg_id: PlacementGroupId,
+        job: &JobSpec,
+        rng: &mut RngStream,
+    ) -> Result<JobPlan> {
+        job.validate()?;
+        let group = self
+            .groups
+            .get(&pg_id)
+            .ok_or_else(|| SimdcError::InvalidConfig(format!("unknown placement group {pg_id}")))?;
 
         let ready_at = self.cost.pg_create.saturating_add(self.cost.actor_spawn);
         let download = self.cost.download_time(job.payload_mib);
@@ -298,16 +468,48 @@ impl LogicalCluster {
             makespan = makespan.max(t);
         }
 
-        let plan = JobPlan {
+        Ok(JobPlan {
             task: job.task,
             round: job.round,
             grade: job.grade,
             placement_group: pg_id,
             actors,
             makespan,
+        })
+    }
+
+    /// Submits a one-shot job: acquires a placement group against the
+    /// currently ready capacity and returns the timed plan. Resources stay
+    /// reserved until [`LogicalCluster::release_job`].
+    ///
+    /// Devices are dealt to actors round-robin, so actor loads differ by at
+    /// most one device — matching the paper's "each actor sequentially
+    /// simulating multiple devices".
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidConfig` for a malformed spec and
+    /// [`SimdcError::ResourceExhausted`] when the placement group does not
+    /// fit the ready capacity. Submission does *not* scale the pool: boot
+    /// more nodes first (e.g. via [`LogicalCluster::autoscale`]) and let
+    /// the boot latency elapse — capacity is never usable at the request
+    /// instant.
+    pub fn submit_job(&mut self, job: &JobSpec, rng: &mut RngStream) -> Result<JobPlan> {
+        job.validate()?;
+        let actor_count = if job.devices.is_empty() {
+            0
+        } else {
+            (job.actor_count() as usize).min(job.devices.len())
         };
-        self.groups.insert(pg_id, group);
-        Ok(plan)
+        let actor_bundle = self.unit.scaled(u64::from(job.units_per_device));
+        let pg_id = self.acquire_group(actor_bundle, actor_count)?;
+        match self.plan_round_on_group(pg_id, job, rng) {
+            Ok(plan) => Ok(plan),
+            Err(err) => {
+                self.release_job(pg_id);
+                Err(err)
+            }
+        }
     }
 
     /// Releases the resources of a finished job. Returns `false` if the
@@ -322,7 +524,9 @@ impl LogicalCluster {
         }
     }
 
-    /// Shrinks the pool back to `keep` nodes where idle.
+    /// Shrinks the pool back to `keep` nodes where idle (immediate
+    /// administrative scale-down; the autoscaler's drain-then-retire path
+    /// is [`LogicalCluster::autoscale`]).
     pub fn scale_down(&mut self, keep: usize) -> usize {
         self.pool.scale_down(keep)
     }
@@ -409,20 +613,50 @@ mod tests {
         assert!(!c.release_job(plan.placement_group), "double release");
     }
 
+    /// Submission no longer silently scales the pool: a burst beyond the
+    /// ready capacity *waits* for an autoscale + boot latency, and only
+    /// then places. This is the virtual-time half of the boot-latency
+    /// regression (the pool-level half lives in `node.rs`).
     #[test]
-    fn elastic_scale_up_handles_bursts() {
-        let mut c = cluster(); // 4×50 cores initially, max 16 nodes
+    fn burst_blocks_until_scale_up_boots() {
+        let mut c = cluster(); // 4×50 cores ready, max 16 nodes
         let mut rng = RngStream::from_seed(5);
-        // 600 unit bundles > initial 200 cores → needs scale-up.
-        let plan = c.submit_job(&job(600, 600, 1), &mut rng).unwrap();
+        // 600 unit bundles > ready 200 cores: placement must fail *now* —
+        // no capacity may materialize at the call instant.
+        let burst = job(600, 600, 1);
+        assert!(matches!(
+            c.submit_job(&burst, &mut rng),
+            Err(SimdcError::ResourceExhausted { .. })
+        ));
+        assert_eq!(c.active_jobs(), 0, "failed submission must not leak");
+
+        // The autoscaler reacts to the queued demand...
+        let action = c.autoscale(600, SimInstant::EPOCH);
+        let ScalingAction::ScaleUp { ready_at, .. } = action else {
+            panic!("expected scale-up, got {action:?}");
+        };
+        assert_eq!(ready_at, SimInstant::EPOCH + c.cost().node_boot);
+        // ...but the capacity is still not placeable before the boot
+        // latency has elapsed.
+        assert!(c.submit_job(&burst, &mut rng).is_err());
+        c.advance_to(ready_at - SimDuration::from_millis(1));
+        assert!(c.submit_job(&burst, &mut rng).is_err());
+
+        // Once the nodes are up, the same job places.
+        c.advance_to(ready_at);
+        let plan = c.submit_job(&burst, &mut rng).unwrap();
         assert_eq!(plan.actor_count(), 600);
         assert!(c.pool().len() > 4);
+        assert!(c.cost_accrued() > 0.0, "node time was billed");
     }
 
     #[test]
     fn exhaustion_after_max_nodes_is_an_error() {
         let mut c = cluster(); // max 16 nodes × 50 cores = 800 cores
         let mut rng = RngStream::from_seed(6);
+        // Even fully scaled out (and booted), 1,000 bundles cannot fit.
+        c.autoscale(1_000, SimInstant::EPOCH);
+        c.advance_to(SimInstant::EPOCH + SimDuration::from_mins(5));
         let result = c.submit_job(&job(1_000, 1_000, 1), &mut rng);
         assert!(matches!(result, Err(SimdcError::ResourceExhausted { .. })));
         // Failed submission must not leak reservations.
@@ -431,6 +665,36 @@ mod tests {
             c.pool().placeable(&ResourceBundle::cores_gib(1, 1))
         );
         assert_eq!(c.active_jobs(), 0);
+        assert!(!c.could_ever_place(&[(ResourceBundle::cores_gib(1, 1), 1_000)]));
+    }
+
+    #[test]
+    fn one_group_serves_every_round_of_a_task() {
+        let mut c = cluster();
+        let mut rng = RngStream::from_seed(12);
+        let bundle = c.actor_bundle(8);
+        let pg = c.acquire_group(bundle, 10).unwrap();
+        let free_after_acquire = c.free_unit_bundles();
+        for round in 0..3u32 {
+            let mut j = job(100, 80, 8);
+            j.round = RoundId(round);
+            let plan = c.plan_round_on_group(pg, &j, &mut rng).unwrap();
+            assert_eq!(plan.actor_count(), 10);
+            // Planning rounds does not consume further capacity.
+            assert_eq!(c.free_unit_bundles(), free_after_acquire);
+        }
+        assert!(c.release_job(pg));
+        assert_eq!(c.free_unit_bundles(), 200);
+    }
+
+    #[test]
+    fn plan_round_rejects_unknown_group() {
+        let mut c = cluster();
+        let mut rng = RngStream::from_seed(13);
+        let err = c
+            .plan_round_on_group(PlacementGroupId(99), &job(10, 80, 8), &mut rng)
+            .unwrap_err();
+        assert!(matches!(err, SimdcError::InvalidConfig(_)));
     }
 
     #[test]
@@ -472,5 +736,31 @@ mod tests {
         let mut rng = RngStream::from_seed(10);
         let plan = c.submit_job(&job(3, 80, 8), &mut rng).unwrap();
         assert_eq!(plan.actor_count(), 3, "no idle actors for tiny jobs");
+    }
+
+    #[test]
+    fn stats_track_the_elastic_lifecycle() {
+        let mut c = cluster();
+        let s0 = c.stats();
+        assert_eq!(s0.nodes, 4);
+        assert_eq!(s0.ready, 4);
+        assert_eq!(s0.peak_nodes, 4);
+        assert_eq!(s0.cost_accrued, 0.0);
+        c.autoscale(400, SimInstant::EPOCH);
+        let s1 = c.stats();
+        assert!(s1.booting > 0);
+        assert_eq!(s1.ready, 4);
+        c.advance_to(SimInstant::EPOCH + SimDuration::from_mins(2));
+        let s2 = c.stats();
+        assert_eq!(s2.booting, 0);
+        assert_eq!(s2.ready, s1.nodes);
+        assert!(s2.peak_nodes > 4);
+        assert!(s2.cost_accrued > 0.0);
+        // Idle and over-provisioned: scale-in drains back toward the floor.
+        let action = c.autoscale(0, SimInstant::EPOCH + SimDuration::from_mins(10));
+        assert!(matches!(action, ScalingAction::ScaleIn { .. }));
+        c.advance_to(SimInstant::EPOCH + SimDuration::from_mins(10) + SimDuration::from_secs(1));
+        assert_eq!(c.stats().nodes, 4, "idle drained nodes retire");
+        assert!(c.stats().retired_total > 0);
     }
 }

@@ -29,7 +29,7 @@ use simdc_data::CtrDataset;
 use simdc_phone::mgr::FleetSpec;
 use simdc_phone::PhoneMgr;
 use simdc_simrt::EventQueue;
-use simdc_types::{PerGrade, Result, SimDuration, SimInstant, SimdcError, TaskId};
+use simdc_types::{PerGrade, ResourceBundle, Result, SimDuration, SimInstant, SimdcError, TaskId};
 
 use crate::cloud::Storage;
 use crate::queue::{TaskQueue, TaskState};
@@ -80,6 +80,10 @@ pub struct PlatformStatus {
     pub free_bundles: u64,
     /// Free phones per grade.
     pub free_phones: PerGrade<u64>,
+    /// Physical cloud nodes (any lifecycle state).
+    pub nodes: u64,
+    /// Cloud nodes up and accepting placements.
+    pub ready_nodes: u64,
 }
 
 /// A stream of task submissions arriving over virtual time — the scenario
@@ -110,8 +114,13 @@ pub struct SourceRunStats {
 #[derive(Debug)]
 enum PlatformEvent {
     /// A running task reaches its planned completion instant: commit the
-    /// plan, release the lease, re-run the scheduler.
+    /// plan, release the lease and placement groups, re-run the
+    /// scheduler.
     Completion(TaskId),
+    /// An elastic scale-up finishes booting: the cluster's new capacity
+    /// becomes placeable, so re-run the scheduler — blocked placements
+    /// admit here instead of failing.
+    NodeReady,
 }
 
 /// The assembled platform.
@@ -128,11 +137,18 @@ pub struct Platform {
     /// Planned executions of running tasks, keyed by task; each has a
     /// matching completion event in `events`.
     plans: HashMap<TaskId, TaskPlan>,
+    /// Per-pending-task actor-bundle placement requests, computed once at
+    /// submission (the allocation is deterministic in the spec and cost
+    /// model). Scheduling passes run the cloud placement trial against
+    /// this cache; entries leave when the task leaves the pending state.
+    placement_reqs: HashMap<TaskId, Vec<(ResourceBundle, u64)>>,
     /// Pending completion events on the virtual timeline.
     events: EventQueue<PlatformEvent>,
     /// Completion events processed so far — including tasks that failed
     /// at commit (scenario drivers fold this into their event totals).
     completion_events: u64,
+    /// Node-ready (elastic scale-up) events processed so far.
+    cluster_events: u64,
     clock: SimInstant,
 }
 
@@ -169,8 +185,10 @@ impl Platform {
             datasets: HashMap::new(),
             reports: HashMap::new(),
             plans: HashMap::new(),
+            placement_reqs: HashMap::new(),
             events: EventQueue::new(),
             completion_events: 0,
+            cluster_events: 0,
             clock: SimInstant::EPOCH,
         }
     }
@@ -199,18 +217,48 @@ impl Platform {
     pub fn submit(&mut self, spec: TaskSpec, dataset: Arc<CtrDataset>) -> Result<TaskId> {
         spec.validate()?;
         self.sync_fleet_totals();
-        if !self
-            .scheduler
-            .feasible_at_all(&spec, self.rm.total_bundles(), self.rm.total_phones())
-        {
+        // Bundle feasibility checks against the elastic *ceiling* (max
+        // nodes, budget cap applied), not the capacity that happens to be
+        // booted right now: a task needing a scale-out queues and waits
+        // for the node-ready event instead of being rejected at the door.
+        if !self.scheduler.feasible_at_all(
+            &spec,
+            self.cluster.capacity_ceiling_units(),
+            self.rm.total_phones(),
+        ) {
             return Err(SimdcError::ResourceExhausted {
                 requested: format!("claim of task {}", spec.id),
                 available: "total platform capacity".into(),
             });
         }
+        // The allocation (and thus the actor-bundle placement requests)
+        // is a deterministic function of the spec and the cost model, so
+        // compute it once here and cache it: scheduling passes run the
+        // placement trial against the cache instead of re-running the
+        // allocation optimizer per pending task per pass. A task whose
+        // actor bundles could never be placed even on an empty
+        // fully-scaled pool (per-node fragmentation the aggregate unit
+        // ceiling misses) is rejected now rather than booting nodes it
+        // can never use and starving later.
+        let requests = self
+            .runner
+            .plan_allocation(&spec, &self.cluster)
+            .map(|alloc| TaskRunner::placement_requests(&spec, &alloc, &self.cluster))
+            .ok();
+        if let Some(requests) = &requests {
+            if !self.cluster.could_ever_place(requests) {
+                return Err(SimdcError::ResourceExhausted {
+                    requested: format!("actor placement of task {}", spec.id),
+                    available: "fully scaled-out node pool".into(),
+                });
+            }
+        }
         let id = spec.id;
         self.queue.submit(spec)?;
         self.datasets.insert(id, dataset);
+        if let Some(requests) = requests {
+            self.placement_reqs.insert(id, requests);
+        }
         Ok(id)
     }
 
@@ -225,19 +273,63 @@ impl Platform {
         }
     }
 
-    /// One scheduling pass: admits every pending task whose claim fits,
-    /// plans its execution from the current clock, and schedules its
-    /// completion event. Tasks whose plan fails (e.g. no idle benchmark
-    /// phone) release their lease and fail. Returns the admitted count.
+    /// Resyncs the Resource Manager's unit-bundle total with the logical
+    /// cluster's *ready* capacity — the elastic tier's contribution to
+    /// admission arithmetic. Runs on every scheduling pass, so booted and
+    /// retired nodes are visible the instant the clock passes their
+    /// lifecycle event.
+    fn sync_cluster_totals(&mut self) {
+        let ready = self.cluster.ready_unit_capacity();
+        if ready != self.rm.total_bundles() {
+            self.rm.set_total_bundles(ready);
+        }
+    }
+
+    /// One scheduling pass: advances the cluster's lifecycle clock, admits
+    /// every pending task whose claim fits *and* whose placement groups
+    /// can be placed on the ready nodes right now, plans its execution
+    /// from the current clock, and schedules its completion event. Tasks
+    /// whose placement would block (capacity still booting, free units
+    /// fragmented) stay pending — their demand drives the autoscaler at
+    /// the end of the pass, and the resulting node-ready event re-runs
+    /// the scheduler. Tasks whose plan fails outright (e.g. no idle
+    /// benchmark phone) release their lease and fail. Returns the
+    /// admitted count.
     ///
     /// Fleet totals are resynced first, so passes triggered by
     /// completions (not just submissions) also see phones registered or
     /// retired through [`Platform::phones_mut`] since the last pass.
     fn dispatch_pending(&mut self) -> usize {
+        self.cluster.advance_to(self.clock);
         self.sync_fleet_totals();
-        let started = self.scheduler.schedule(&self.queue, &mut self.rm);
+        self.sync_cluster_totals();
+        let started = {
+            let cluster = &self.cluster;
+            let reqs = &self.placement_reqs;
+            self.scheduler
+                .schedule_filtered(&self.queue, &mut self.rm, |spec| {
+                    // No cached requests means the allocation failed at
+                    // submit: let `plan` surface the real error on the
+                    // normal failure path.
+                    reqs.get(&spec.id).is_none_or(|r| cluster.can_place_all(r))
+                })
+        };
         let mut admitted = 0;
         for id in started {
+            // Re-run the placement trial against the *current* pool: a
+            // task admitted earlier in this very pass has acquired its
+            // groups by now, and a candidate that fit the pre-pass pool
+            // may no longer place. It must go back to pending (wait for
+            // a completion or node-ready event), not fall through to
+            // `plan` and fail permanently.
+            let still_places = self
+                .placement_reqs
+                .get(&id)
+                .is_none_or(|r| self.cluster.can_place_all(r));
+            if !still_places {
+                self.rm.release(id);
+                continue;
+            }
             let start = self.clock;
             if self.queue.mark_running(id, start).is_err() {
                 // Keep freeze/release strictly paired: the scheduler froze
@@ -263,25 +355,67 @@ impl Platform {
                     self.events
                         .push(plan.finished_at(), PlatformEvent::Completion(id));
                     self.plans.insert(id, plan);
+                    self.placement_reqs.remove(&id);
                     admitted += 1;
                 }
                 Err(err) => {
                     self.rm.release(id);
+                    self.placement_reqs.remove(&id);
                     let _ = self.queue.mark_failed(id, err.to_string());
                 }
             }
         }
+        self.autoscale_for_pending();
         admitted
     }
 
+    /// Derives the queue pressure left after a scheduling pass — the
+    /// unit-bundle claims of still-pending tasks whose *phone* needs
+    /// currently fit (a phone-starved task should not boot cloud nodes) —
+    /// and runs one autoscaler pass with it. A scale-up schedules the
+    /// node-ready event that will wake the scheduler when the capacity
+    /// becomes placeable.
+    fn autoscale_for_pending(&mut self) {
+        let mut demand_units = 0u64;
+        for id in self.queue.iter_pending() {
+            let Some(record) = self.queue.get(id) else {
+                continue;
+            };
+            let claim = crate::scheduler::claim_for(&record.spec);
+            let phones_fit = simdc_types::DeviceGrade::ALL
+                .iter()
+                .all(|&g| *claim.phones.get(g) <= self.rm.free_phones(g));
+            if phones_fit {
+                demand_units += claim.unit_bundles;
+            }
+        }
+        match self.cluster.autoscale(demand_units, self.clock) {
+            simdc_cluster::ScalingAction::ScaleUp { ready_at, .. } => {
+                self.events.push(ready_at, PlatformEvent::NodeReady);
+            }
+            simdc_cluster::ScalingAction::ScaleIn { .. } => {
+                // Draining shrinks the ready capacity at this very
+                // instant — resync so admission arithmetic (and the idle
+                // free==total invariant) stays consistent within the pass.
+                self.sync_cluster_totals();
+            }
+            simdc_cluster::ScalingAction::Hold => {}
+        }
+    }
+
     /// Handles one completion event: commits the plan (taking the
-    /// benchmark measurements), releases the lease at the completion
-    /// instant, and records the final state. Returns whether the task
-    /// completed (vs. failed at commit).
+    /// benchmark measurements), releases the lease and the task's
+    /// placement groups at the completion instant, and records the final
+    /// state. Returns whether the task completed (vs. failed at commit).
     fn finish(&mut self, id: TaskId, at: SimInstant) -> bool {
         self.clock = self.clock.max(at);
         self.completion_events += 1;
         let plan = self.plans.remove(&id).expect("completion without a plan");
+        // Give the cloud capacity back at the completion instant — the
+        // next scheduling pass (and its autoscale) sees the freed nodes.
+        for pg in plan.placement_groups() {
+            self.cluster.release_job(*pg);
+        }
         let committed = self.runner.commit(plan, &mut self.phones);
         // Release exactly once per freeze, whatever the commit outcome.
         self.rm.release(id);
@@ -303,6 +437,7 @@ impl Platform {
     /// tasks hold no lease — failing them involves no release.
     fn fail_starved(&mut self) {
         for id in self.queue.pending_by_priority() {
+            self.placement_reqs.remove(&id);
             let _ = self
                 .queue
                 .mark_failed(id, "resources never became available");
@@ -322,6 +457,11 @@ impl Platform {
             self.rm.free_bundles(),
             self.rm.total_bundles(),
         );
+        debug_assert!(
+            self.cluster.active_jobs() == 0,
+            "placement-group leak at idle: {} groups still held",
+            self.cluster.active_jobs(),
+        );
     }
 
     /// Runs the event loop until no task is pending or running: every
@@ -340,9 +480,18 @@ impl Platform {
                         completed += 1;
                     }
                 }
+                Some((at, PlatformEvent::NodeReady)) => {
+                    // The next dispatch advances the cluster to this
+                    // instant, making the booted capacity placeable.
+                    self.clock = self.clock.max(at);
+                    self.cluster_events += 1;
+                }
                 None => {
-                    // Nothing running: whatever is still pending is
-                    // starved — fail it loudly rather than spin.
+                    // Nothing running and no capacity in flight: whatever
+                    // is still pending is starved — fail it loudly rather
+                    // than spin. (A pending task waiting on a scale-up
+                    // always has a NodeReady event here; reaching `None`
+                    // means the autoscaler can do no more for it.)
                     self.fail_starved();
                     break;
                 }
@@ -365,9 +514,17 @@ impl Platform {
         // platform starts now, not at the arbitrary deadline.
         self.dispatch_pending();
         let mut completed = 0usize;
-        while let Some((at, PlatformEvent::Completion(id))) = self.events.pop_before(deadline) {
-            if self.finish(id, at) {
-                completed += 1;
+        while let Some((at, event)) = self.events.pop_before(deadline) {
+            match event {
+                PlatformEvent::Completion(id) => {
+                    if self.finish(id, at) {
+                        completed += 1;
+                    }
+                }
+                PlatformEvent::NodeReady => {
+                    self.clock = self.clock.max(at);
+                    self.cluster_events += 1;
+                }
             }
             self.dispatch_pending();
         }
@@ -435,22 +592,39 @@ impl Platform {
     /// tasks completed.
     pub fn sync_to_arrival(&mut self, at: SimInstant) -> usize {
         let mut completed = 0usize;
-        // Everything completing strictly before the arrival happens
-        // first — including the admissions those completions unlock.
+        // Everything completing (or booting) strictly before the arrival
+        // happens first — including the admissions those events unlock.
         while self.events.peek_time().is_some_and(|t| t < at) {
-            let (t, PlatformEvent::Completion(id)) =
-                self.events.pop().expect("peeked event vanished");
-            if self.finish(id, t) {
-                completed += 1;
+            let (t, event) = self.events.pop().expect("peeked event vanished");
+            match event {
+                PlatformEvent::Completion(id) => {
+                    if self.finish(id, t) {
+                        completed += 1;
+                    }
+                }
+                PlatformEvent::NodeReady => {
+                    self.clock = self.clock.max(t);
+                    self.cluster_events += 1;
+                }
             }
             self.dispatch_pending();
         }
         self.advance_clock_to(at);
-        // Completions at exactly the arrival instant: release leases,
-        // defer admission to the caller's post-submit pass.
-        while let Some((t, PlatformEvent::Completion(id))) = self.events.pop_before(at) {
-            if self.finish(id, t) {
-                completed += 1;
+        // Events at exactly the arrival instant: completions release
+        // their leases, node-readies make capacity visible — but
+        // admission is deferred to the caller's post-submit pass, so one
+        // pass sees freed capacity, fresh nodes and the new tasks
+        // together and priority decides the tie.
+        while let Some((t, event)) = self.events.pop_before(at) {
+            match event {
+                PlatformEvent::Completion(id) => {
+                    if self.finish(id, t) {
+                        completed += 1;
+                    }
+                }
+                PlatformEvent::NodeReady => {
+                    self.cluster_events += 1;
+                }
             }
         }
         completed
@@ -477,6 +651,13 @@ impl Platform {
         self.completion_events
     }
 
+    /// Node-ready (elastic scale-up) events processed since construction
+    /// — the cloud tier's share of a scenario's total event count.
+    #[must_use]
+    pub fn cluster_events(&self) -> u64 {
+        self.cluster_events
+    }
+
     /// The report of a completed task.
     #[must_use]
     pub fn report(&self, id: TaskId) -> Option<&TaskReport> {
@@ -500,6 +681,8 @@ impl Platform {
             finished,
             free_bundles: self.rm.free_bundles(),
             free_phones: PerGrade::from_fn(|g| self.rm.free_phones(g)),
+            nodes: self.cluster.pool().len() as u64,
+            ready_nodes: self.cluster.pool().ready_count() as u64,
         }
     }
 
@@ -693,6 +876,150 @@ mod tests {
         assert_eq!(stats.submitted, 0);
         assert_eq!(stats.rejected, 1);
         assert_eq!(stats.completed, 0);
+    }
+
+    /// A task needing more bundles than the booted capacity: the paper's
+    /// elastic tier boots nodes instead of rejecting it, and the task
+    /// *waits* through the boot latency rather than failing.
+    fn surge_spec(id: u64, bundles: u64) -> TaskSpec {
+        TaskSpec::builder(TaskId(id))
+            .rounds(1)
+            .grade(GradeRequirement {
+                grade: DeviceGrade::High,
+                total_devices: 50,
+                benchmark_phones: 0,
+                logical_unit_bundles: bundles,
+                units_per_device: 8,
+                phones: 0,
+            })
+            .trigger(AggregationTrigger::DeviceThreshold { min_devices: 50 })
+            .seed(id)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn burst_task_waits_for_scale_up_instead_of_failing() {
+        let mut platform = Platform::paper_default();
+        let boot = platform.cluster().cost().node_boot;
+        // 400 bundles > 200 ready, but within the 800-unit elastic
+        // ceiling: accepted, queued, and admitted at the node-ready event.
+        platform.submit(surge_spec(1, 400), dataset()).unwrap();
+        let completed = platform.run_until_idle();
+        assert_eq!(completed, 1);
+        let Some(TaskState::Completed { started_at, .. }) = platform.task_state(TaskId(1)) else {
+            panic!(
+                "task must complete, got {:?}",
+                platform.task_state(TaskId(1))
+            );
+        };
+        assert!(
+            *started_at >= SimInstant::EPOCH + boot,
+            "placement must block for the boot latency, started at {started_at}"
+        );
+        assert!(platform.cluster_events() >= 1, "node-ready event processed");
+        let stats = platform.cluster().stats();
+        assert!(stats.peak_nodes > 4, "the pool scaled out: {stats:?}");
+        assert!(stats.cost_accrued > 0.0, "node time was billed");
+        // After the burst the autoscaler drained back to the floor: free
+        // capacity equals ready capacity equals the initial 200 units.
+        let status = platform.status();
+        assert_eq!(status.free_bundles, 200, "{status:?}");
+        assert_eq!(status.ready_nodes, 4, "surplus nodes drained: {status:?}");
+    }
+
+    #[test]
+    fn budget_cap_bounds_the_elastic_ceiling() {
+        use simdc_cluster::{AutoscalerConfig, ClusterConfig};
+        let capped = |hourly: f64| {
+            Platform::new(PlatformConfig {
+                cluster: ClusterConfig {
+                    autoscaler: AutoscalerConfig {
+                        max_hourly_cost: Some(hourly),
+                        ..AutoscalerConfig::default()
+                    },
+                    ..ClusterConfig::default()
+                },
+                ..PlatformConfig::default()
+            })
+        };
+        // A 4-node budget caps the ceiling at the initial 200 units: a
+        // 400-bundle task could never run and is rejected at the door.
+        let mut tight = capped(4.0);
+        assert!(tight.submit(surge_spec(1, 400), dataset()).is_err());
+        // A 6-node budget (300 units) admits a 250-bundle task — the pool
+        // scales to the cap and no further.
+        let mut loose = capped(6.0);
+        loose.submit(surge_spec(2, 250), dataset()).unwrap();
+        assert_eq!(loose.run_until_idle(), 1);
+        let stats = loose.cluster().stats();
+        assert!(
+            stats.peak_nodes > 4 && stats.peak_nodes <= 6,
+            "budget must bound the fleet: {stats:?}"
+        );
+    }
+
+    /// Same-pass admission race regression: two tasks that each fit the
+    /// empty pool individually are both picked in one pass, but the first
+    /// one's acquisition fragments the nodes (four 30-unit actors leave
+    /// 20 free units on each 50-unit node) so the second's single 40-unit
+    /// actor no longer places. It must go back to pending and admit at a
+    /// later capacity event — never fall through to `plan` and fail.
+    #[test]
+    fn fragmented_same_pass_admission_waits_instead_of_failing() {
+        let spec = |id: u64, f: u64, k: u64, devices: u64| {
+            TaskSpec::builder(TaskId(id))
+                .rounds(1)
+                .grade(GradeRequirement {
+                    grade: DeviceGrade::High,
+                    total_devices: devices,
+                    benchmark_phones: 0,
+                    logical_unit_bundles: f,
+                    units_per_device: k,
+                    phones: 0,
+                })
+                .trigger(AggregationTrigger::DeviceThreshold {
+                    min_devices: devices,
+                })
+                .seed(id)
+                .build()
+                .unwrap()
+        };
+        let mut platform = Platform::paper_default();
+        platform.submit(spec(1, 120, 30, 4), dataset()).unwrap();
+        platform.submit(spec(2, 40, 40, 1), dataset()).unwrap();
+        assert_eq!(platform.run_until_idle(), 2);
+        for id in [1u64, 2] {
+            assert!(
+                matches!(
+                    platform.task_state(TaskId(id)),
+                    Some(TaskState::Completed { .. })
+                ),
+                "task {id} must complete, got {:?}",
+                platform.task_state(TaskId(id))
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_tasks_contend_for_cloud_capacity() {
+        // Two 150-bundle tasks on 200 ready units: the first admits
+        // immediately, the second blocks (capacity + fragmentation) until
+        // scale-out or the first completion — never fails.
+        let mut platform = Platform::paper_default();
+        platform.submit(surge_spec(1, 150), dataset()).unwrap();
+        platform.submit(surge_spec(2, 150), dataset()).unwrap();
+        assert_eq!(platform.run_until_idle(), 2);
+        for id in [1u64, 2] {
+            assert!(
+                matches!(
+                    platform.task_state(TaskId(id)),
+                    Some(TaskState::Completed { .. })
+                ),
+                "task {id}: {:?}",
+                platform.task_state(TaskId(id))
+            );
+        }
     }
 
     #[test]

@@ -109,6 +109,19 @@ impl ResourceManager {
         }
     }
 
+    /// Resyncs the unit-bundle total to `total` (the logical cluster's
+    /// *ready* capacity as of the current scheduling pass) and recomputes
+    /// free capacity as `total − frozen` (saturating at zero). Like
+    /// [`ResourceManager::set_total_phones`], free is derived from the
+    /// outstanding leases rather than by applying a delta, so an elastic
+    /// scale-in below the frozen amount followed by a later scale-out
+    /// stays honest: regrown capacity only frees once its leases release.
+    pub fn set_total_bundles(&mut self, total: u64) {
+        let frozen: u64 = self.leases.values().map(|c| c.unit_bundles).sum();
+        self.total_bundles = total;
+        self.free_bundles = total.saturating_sub(frozen);
+    }
+
     /// Whether `claim` currently fits.
     #[must_use]
     pub fn fits(&self, claim: &ResourceClaim) -> bool {

@@ -17,20 +17,20 @@
 //! Everything is deterministic given the task seed and start instant.
 
 use serde::{Deserialize, Serialize};
-use simdc_cluster::{JobSpec, LogicalCluster};
+use simdc_cluster::{JobSpec, LogicalCluster, PlacementGroupId};
 use simdc_data::CtrDataset;
 use simdc_deviceflow::{DeviceFlow, FlowHarness};
 use simdc_ml::{evaluate, EvalMetrics, FedAvg, KernelKind, LocalTrainer, LrModel};
 use simdc_phone::{PerfReport, PhoneMgr, PhoneProfile};
 use simdc_simrt::RngStream;
 use simdc_types::{
-    DeviceId, Message, MessageId, PhoneId, Result, RoundId, SimDuration, SimInstant, SimdcError,
-    StorageKey, TaskId,
+    DeviceId, Message, MessageId, PhoneId, ResourceBundle, Result, RoundId, SimDuration,
+    SimInstant, SimdcError, StorageKey, TaskId,
 };
 
 use crate::alloc::{optimize, Allocation, GradeAllocParams, GradeAllocation};
 use crate::cloud::{decode_update, encode_update, resolve_round, Storage};
-use crate::spec::{AllocationPolicy, TaskSpec};
+use crate::spec::{AllocationPolicy, GradeRequirement, TaskSpec};
 
 /// One round's outcome.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -131,6 +131,10 @@ pub struct TaskRunner {
 pub struct TaskPlan {
     report: TaskReport,
     benchmark_phones: Vec<PhoneId>,
+    /// Placement groups held on the logical cluster for this task's whole
+    /// lifetime — the platform releases them at the completion event, so
+    /// cloud capacity contention is real across concurrent tasks.
+    groups: Vec<PlacementGroupId>,
 }
 
 impl TaskPlan {
@@ -138,6 +142,12 @@ impl TaskPlan {
     #[must_use]
     pub fn task(&self) -> TaskId {
         self.report.task
+    }
+
+    /// The placement groups the task holds until its completion event.
+    #[must_use]
+    pub fn placement_groups(&self) -> &[PlacementGroupId] {
+        &self.groups
     }
 
     /// Virtual start instant.
@@ -207,6 +217,43 @@ impl TaskRunner {
         }
     }
 
+    /// The placement-group requests a spec would acquire under
+    /// `allocation`: one `(actor bundle, actor count)` pair per grade with
+    /// logical devices. The platform's admission pre-check runs these
+    /// through the cluster's trial placement *before* freezing the task's
+    /// claim, so a task whose placement would block (capacity booting, or
+    /// free units fragmented across nodes) waits instead of failing.
+    #[must_use]
+    pub fn placement_requests(
+        spec: &TaskSpec,
+        allocation: &Allocation,
+        cluster: &LogicalCluster,
+    ) -> Vec<(ResourceBundle, u64)> {
+        spec.grades
+            .iter()
+            .zip(&allocation.grades)
+            .filter_map(|(g, a)| Self::grade_request(g, a.logical_devices, cluster))
+            .collect()
+    }
+
+    /// The single source of truth for one grade's placement-group shape:
+    /// `(actor bundle, actor count)` for `logical_devices` devices placed
+    /// on the cloud tier, or `None` when the grade runs no logical
+    /// devices. Both the admission trial ([`TaskRunner::placement_requests`])
+    /// and the real acquisition in [`TaskRunner::plan`] derive from here,
+    /// so the trial can never approve a placement the acquisition rejects.
+    fn grade_request(
+        g: &GradeRequirement,
+        logical_devices: u64,
+        cluster: &LogicalCluster,
+    ) -> Option<(ResourceBundle, u64)> {
+        if logical_devices == 0 {
+            return None;
+        }
+        let actors = (g.logical_unit_bundles / g.units_per_device.max(1)).min(logical_devices);
+        Some((cluster.actor_bundle(g.units_per_device), actors))
+    }
+
     fn alloc_params(spec: &TaskSpec, cluster: &LogicalCluster) -> Vec<GradeAllocParams> {
         spec.grades
             .iter()
@@ -246,7 +293,15 @@ impl TaskRunner {
         start: SimInstant,
     ) -> Result<TaskReport> {
         let plan = self.plan(spec, dataset, cluster, phones, storage, start)?;
-        self.commit(plan, phones)
+        // Single-shot execution has no completion event to release the
+        // placement groups at — give them back here so batch drivers
+        // leave the pool clean between tasks.
+        let groups: Vec<PlacementGroupId> = plan.placement_groups().to_vec();
+        let report = self.commit(plan, phones);
+        for pg in groups {
+            cluster.release_job(pg);
+        }
+        report
     }
 
     /// Plan phase: computes the task's entire per-round timeline (device
@@ -313,6 +368,80 @@ impl TaskRunner {
             }
         }
 
+        // --- Placement-group acquisition --------------------------------
+        // One group per grade with logical devices, acquired at admission
+        // and held for the task's whole lifetime: every round re-uses it,
+        // and the platform releases it at the completion event — which is
+        // what makes cloud capacity contention real across concurrent
+        // tasks. Acquisition failing here means the platform's admission
+        // pre-check raced a competing placement; the caller handles it
+        // like any other resource failure.
+        let mut grade_groups: Vec<Option<PlacementGroupId>> = Vec::with_capacity(spec.grades.len());
+        for (g, placement) in spec.grades.iter().zip(&placements) {
+            let Some((bundle, actors)) =
+                Self::grade_request(g, placement.logical_devices.len() as u64, cluster)
+            else {
+                grade_groups.push(None);
+                continue;
+            };
+            match cluster.acquire_group(bundle, actors as usize) {
+                Ok(pg) => grade_groups.push(Some(pg)),
+                Err(err) => {
+                    for pg in grade_groups.iter().flatten() {
+                        cluster.release_job(*pg);
+                    }
+                    return Err(err);
+                }
+            }
+        }
+        let groups: Vec<PlacementGroupId> = grade_groups.iter().flatten().copied().collect();
+
+        // Everything past acquisition must give the groups back on error.
+        let planned = self.plan_timeline(
+            spec,
+            dataset,
+            cluster,
+            phones,
+            storage,
+            start,
+            allocation,
+            &placements,
+            &grade_groups,
+            &mut rng,
+        );
+        match planned {
+            Ok((report, benchmark_phones)) => Ok(TaskPlan {
+                report,
+                benchmark_phones,
+                groups,
+            }),
+            Err(err) => {
+                for pg in &groups {
+                    cluster.release_job(*pg);
+                }
+                Err(err)
+            }
+        }
+    }
+
+    /// The fallible tail of [`TaskRunner::plan`]: rounds, DeviceFlow
+    /// routing, aggregation and benchmark reservation over already
+    /// acquired placement groups. Split out so `plan` can release the
+    /// groups on any error.
+    #[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+    fn plan_timeline(
+        &self,
+        spec: &TaskSpec,
+        dataset: &CtrDataset,
+        cluster: &mut LogicalCluster,
+        phones: &mut PhoneMgr,
+        storage: &mut Storage,
+        start: SimInstant,
+        allocation: Allocation,
+        placements: &[GradePlacement],
+        grade_groups: &[Option<PlacementGroupId>],
+        rng: &mut RngStream,
+    ) -> Result<(TaskReport, Vec<PhoneId>)> {
         // --- DeviceFlow -------------------------------------------------
         let mut harness = spec.strategy.as_ref().map(|strategy| {
             let mut flow = DeviceFlow::new();
@@ -343,7 +472,7 @@ impl TaskRunner {
             let payload_mib =
                 self.config.data_payload_mib + global.serialized_size() as f64 / (1024.0 * 1024.0);
 
-            for (g, placement) in spec.grades.iter().zip(&placements) {
+            for ((g, placement), group) in spec.grades.iter().zip(placements).zip(grade_groups) {
                 // Effective (fleet-averaged) profile, so stragglers and
                 // other per-phone perturbations stretch the actual wave
                 // timing — the optimizer plans with nominal profiles.
@@ -351,8 +480,9 @@ impl TaskRunner {
                 // right after placement, so the nominal fallback here can
                 // only ever serve fully-logical grades.
                 let profile = phones.effective_profile(g.grade);
-                // Logical side.
-                if !placement.logical_devices.is_empty() {
+                // Logical side: plan this round over the task's standing
+                // placement group (acquired once, released at completion).
+                if let Some(pg) = group {
                     let job = JobSpec {
                         task: spec.id,
                         round,
@@ -362,7 +492,7 @@ impl TaskRunner {
                         units_per_device: g.units_per_device as u32,
                         payload_mib,
                     };
-                    let plan = cluster.submit_job(&job, &mut rng)?;
+                    let plan = cluster.plan_round_on_group(*pg, &job, rng)?;
                     for (dev, offset) in plan.device_completions() {
                         let at = round_start + offset;
                         compute_finished = compute_finished.max(at);
@@ -382,7 +512,6 @@ impl TaskRunner {
                             ),
                         ));
                     }
-                    cluster.release_job(plan.placement_group);
                 }
                 // Phone compute side: waves over the granted phones.
                 let compute_phones = g.phones.max(1);
@@ -523,7 +652,7 @@ impl TaskRunner {
         let mut benchmark_phones = Vec::new();
         let mut finished_at = rounds.last().map_or(start, |r| r.aggregated_at);
         if self.config.measure_benchmarks {
-            for (g, placement) in spec.grades.iter().zip(&placements) {
+            for (g, placement) in spec.grades.iter().zip(placements) {
                 if placement.benchmark_devices.is_empty() {
                     continue;
                 }
@@ -544,8 +673,8 @@ impl TaskRunner {
             }
         }
 
-        Ok(TaskPlan {
-            report: TaskReport {
+        Ok((
+            TaskReport {
                 task: spec.id,
                 started_at: start,
                 finished_at,
@@ -555,7 +684,7 @@ impl TaskRunner {
                 benchmark_reports: Vec::new(),
             },
             benchmark_phones,
-        })
+        ))
     }
 
     /// Commit phase: measures the benchmark phones reserved by
@@ -581,6 +710,9 @@ impl TaskRunner {
         let TaskPlan {
             mut report,
             benchmark_phones,
+            // Releasing the groups is the caller's job: the platform does
+            // it at the completion event, `execute` right after commit.
+            groups: _,
         } = plan;
         for phone in benchmark_phones {
             // Only measure a run that is still *this task's* run.

@@ -46,12 +46,33 @@ impl GreedyScheduler {
     /// asc)` index directly — no per-pass sort — which keeps the
     /// event-driven core cheap when every completion triggers a re-run.
     pub fn schedule(&self, queue: &TaskQueue, rm: &mut ResourceManager) -> Vec<TaskId> {
+        self.schedule_filtered(queue, rm, |_| true)
+    }
+
+    /// [`GreedyScheduler::schedule`] with a second resource dimension:
+    /// `cloud_fits` answers whether the elastic cloud tier can physically
+    /// place the task's actor bundles *right now* (ready nodes only,
+    /// fragmentation included). A task whose quantities fit the Resource
+    /// Manager but whose placement would block — capacity still booting,
+    /// or free units fragmented across nodes — is skipped without
+    /// freezing, staying pending until a node-ready or completion event
+    /// re-runs the pass. The platform derives queue pressure for the
+    /// autoscaler from exactly those skipped tasks.
+    pub fn schedule_filtered(
+        &self,
+        queue: &TaskQueue,
+        rm: &mut ResourceManager,
+        mut cloud_fits: impl FnMut(&TaskSpec) -> bool,
+    ) -> Vec<TaskId> {
         let mut started = Vec::new();
         for id in queue.iter_pending() {
             let Some(record) = queue.get(id) else {
                 continue;
             };
             let claim = claim_for(&record.spec);
+            if !rm.fits(&claim) || !cloud_fits(&record.spec) {
+                continue;
+            }
             if rm.freeze(id, claim).is_ok() {
                 started.push(id);
             }

@@ -5,7 +5,7 @@
 //! Fleet queries on the task-plan path — [`PhoneMgr::select`],
 //! [`PhoneMgr::available`], [`PhoneMgr::count`],
 //! [`PhoneMgr::effective_profile`] — are answered from an incremental
-//! per-`(grade, provenance)` index (see [`crate::index`]) instead of
+//! per-`(grade, provenance)` index (the private `index` module) instead of
 //! rescanning the fleet, so planning a task costs O(k log F) in the number
 //! of phones it touches, not O(F) in the fleet size. The index is
 //! maintained on every state transition the manager performs

@@ -36,6 +36,8 @@
 //! assert_eq!(engine.now().as_secs_f64(), 10.0);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod engine;
 pub mod rng;
 pub mod series;

@@ -16,6 +16,8 @@
 //! assert!(DeviceGrade::High < DeviceGrade::Low);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod error;
 pub mod grade;
 pub mod ids;

@@ -37,6 +37,7 @@
 //!     arrivals: ArrivalProcess::Poisson { rate_per_min: 0.4 },
 //!     template: TaskTemplate::default(),
 //!     fleet: FleetDynamics::calm(),
+//!     cluster: None,
 //! };
 //! let data = Arc::new(CtrDataset::generate(&GeneratorConfig {
 //!     n_devices: 30,
@@ -57,6 +58,9 @@ pub mod template;
 
 pub use arrival::ArrivalProcess;
 pub use fleet::{FleetDynamics, FleetEvent};
-pub use scenario::{library, mega_fleet, Scenario, ScenarioSummary};
+pub use scenario::{
+    budget_capped, cloud_surge, library, mega_fleet, CloudSample, CloudSummary, Scenario,
+    ScenarioSummary,
+};
 pub use source::SampledSource;
 pub use template::{GradeScheme, TaskTemplate};

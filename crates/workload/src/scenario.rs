@@ -18,6 +18,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
+use simdc_cluster::{AutoscalerConfig, ClusterConfig};
 use simdc_core::{Platform, PlatformConfig, TaskSpec, TaskState};
 use simdc_data::CtrDataset;
 use simdc_simrt::{Engine, EngineCtx, RngStream, World};
@@ -47,6 +48,11 @@ pub struct Scenario {
     pub template: TaskTemplate,
     /// Fleet perturbations.
     pub fleet: FleetDynamics,
+    /// Logical-cluster override: scenarios that exercise the elastic
+    /// cloud tier (small initial pools, budget-capped autoscalers) carry
+    /// their cluster shape here; `None` keeps whatever the caller's
+    /// [`PlatformConfig`] says.
+    pub cluster: Option<ClusterConfig>,
 }
 
 impl Scenario {
@@ -69,6 +75,9 @@ impl Scenario {
         }
         self.arrivals.validate()?;
         self.template.validate()?;
+        if let Some(cluster) = &self.cluster {
+            cluster.validate()?;
+        }
         self.fleet.validate()
     }
 
@@ -103,6 +112,10 @@ impl Scenario {
     ) -> ScenarioSummary {
         self.validate().expect("scenario must be valid");
         let mut rng = RngStream::named(seed, &format!("scenario/{}", self.name));
+        let mut config = config;
+        if let Some(cluster) = &self.cluster {
+            config.cluster = cluster.clone();
+        }
         let mut platform = Platform::new(config);
 
         // Pre-sample every stochastic schedule from the scenario seed.
@@ -137,6 +150,7 @@ impl Scenario {
             completed: 0,
             crashes: 0,
             reboots: 0,
+            cloud_series: Vec::new(),
         });
         for (offset, spec) in offsets.iter().zip(specs) {
             engine.schedule_in(*offset, Ev::Arrival(Box::new(spec)));
@@ -175,6 +189,23 @@ struct ScenarioWorld {
     completed: u64,
     crashes: u64,
     reboots: u64,
+    /// Elastic-tier samples taken at every dispatch tick (plus one final
+    /// post-drain sample from `summarize`).
+    cloud_series: Vec<CloudSample>,
+}
+
+impl ScenarioWorld {
+    /// Samples the elastic tier at `now` into the cloud time series.
+    fn sample_cloud(&mut self, now: SimInstant) {
+        let stats = self.platform.cluster().stats();
+        self.cloud_series.push(CloudSample {
+            t_secs: now.duration_since(SimInstant::EPOCH).as_secs_f64(),
+            nodes: stats.nodes,
+            ready: stats.ready,
+            utilization: stats.utilization,
+            cost: stats.cost_accrued,
+        });
+    }
 }
 
 impl World for ScenarioWorld {
@@ -227,14 +258,53 @@ impl World for ScenarioWorld {
                 // an empty outer queue is the final drain.
                 if ctx.pending() > 0 {
                     self.completed += self.platform.run_until(ctx.now()) as u64;
+                    self.sample_cloud(ctx.now());
                     ctx.schedule_in(self.dispatch_interval, Ev::Dispatch);
                 } else {
                     self.platform.advance_clock_to(ctx.now());
                     self.completed += self.platform.run_until_idle() as u64;
+                    // No sample here: `summarize` takes the one post-drain
+                    // sample, so the series does not end on a duplicate.
                 }
             }
         }
     }
+}
+
+/// One sample of the elastic cloud tier on the scenario timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CloudSample {
+    /// Virtual offset from the scenario start, seconds.
+    pub t_secs: f64,
+    /// Physical nodes (booting + ready + draining).
+    pub nodes: u64,
+    /// Nodes up and accepting placements.
+    pub ready: u64,
+    /// Ready-capacity CPU utilization, `[0, 1]`.
+    pub utilization: f64,
+    /// Cumulative node-time spend so far.
+    pub cost: f64,
+}
+
+/// The elastic tier's story of one scenario run: lifecycle counters, the
+/// final bill and the node-count/utilization/cost time series the
+/// elasticity bench plots (and CI assertions read).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CloudSummary {
+    /// Largest physical footprint the pool ever reached.
+    pub peak_nodes: u64,
+    /// Ready nodes after the run drained.
+    pub final_ready: u64,
+    /// Nodes ever booted (including the initial set).
+    pub nodes_booted: u64,
+    /// Nodes ever retired.
+    pub nodes_retired: u64,
+    /// Node-ready events the platform processed (scale-up wake-ups).
+    pub node_ready_events: u64,
+    /// Total node-time spend.
+    pub cost_total: f64,
+    /// Samples taken at every dispatch tick plus one after the drain.
+    pub series: Vec<CloudSample>,
 }
 
 /// Aggregated outcome of one scenario run — everything the summary JSON
@@ -282,16 +352,31 @@ pub struct ScenarioSummary {
     /// First arrival offsets (seconds) — a compact fingerprint proving
     /// different seeds yield different workloads.
     pub arrival_preview_secs: Vec<f64>,
+    /// The elastic cloud tier's node/cost/utilization story.
+    pub cloud: CloudSummary,
 }
 
 fn summarize(
     scenario: &Scenario,
     seed: u64,
     offsets: &[SimDuration],
-    world: ScenarioWorld,
+    mut world: ScenarioWorld,
     stragglers: u64,
     outer_events: u64,
 ) -> ScenarioSummary {
+    // One final post-drain sample, so the series always ends on the
+    // settled state (surplus nodes drained or still paying cooldown).
+    world.sample_cloud(world.platform.status().now);
+    let cluster_stats = world.platform.cluster().stats();
+    let cloud = CloudSummary {
+        peak_nodes: cluster_stats.peak_nodes,
+        final_ready: cluster_stats.ready,
+        nodes_booted: cluster_stats.booted_total,
+        nodes_retired: cluster_stats.retired_total,
+        node_ready_events: world.platform.cluster_events(),
+        cost_total: cluster_stats.cost_accrued,
+        series: std::mem::take(&mut world.cloud_series),
+    };
     let mut waits: Vec<f64> = Vec::new();
     let mut runs: Vec<f64> = Vec::new();
     let mut accuracies: Vec<f64> = Vec::new();
@@ -334,7 +419,7 @@ fn summarize(
         crashes: world.crashes,
         reboots: world.reboots,
         stragglers,
-        events: outer_events + world.platform.completion_events(),
+        events: outer_events + world.platform.completion_events() + world.platform.cluster_events(),
         makespan_secs: world
             .platform
             .status()
@@ -346,6 +431,7 @@ fn summarize(
         mean_run_secs: mean(&runs),
         mean_final_accuracy: mean(&accuracies),
         arrival_preview_secs: offsets.iter().take(8).map(|d| d.as_secs_f64()).collect(),
+        cloud,
     }
 }
 
@@ -366,6 +452,7 @@ pub fn library() -> Vec<Scenario> {
             arrivals: ArrivalProcess::Poisson { rate_per_min: 0.7 },
             template: base_template.clone(),
             fleet: FleetDynamics::calm(),
+            cluster: None,
         },
         Scenario {
             name: "diurnal_cycle".into(),
@@ -379,6 +466,7 @@ pub fn library() -> Vec<Scenario> {
             },
             template: base_template.clone(),
             fleet: FleetDynamics::calm(),
+            cluster: None,
         },
         Scenario {
             name: "flash_crowd".into(),
@@ -393,6 +481,7 @@ pub fn library() -> Vec<Scenario> {
             },
             template: base_template.clone(),
             fleet: FleetDynamics::calm(),
+            cluster: None,
         },
         Scenario {
             name: "phone_churn".into(),
@@ -406,6 +495,7 @@ pub fn library() -> Vec<Scenario> {
                 reboot_after: mins(3),
                 ..FleetDynamics::calm()
             },
+            cluster: None,
         },
         Scenario {
             name: "straggler_fleet".into(),
@@ -424,6 +514,7 @@ pub fn library() -> Vec<Scenario> {
                 straggler_slowdown: 2.5,
                 ..FleetDynamics::calm()
             },
+            cluster: None,
         },
         Scenario {
             name: "benchmark_outage".into(),
@@ -451,7 +542,10 @@ pub fn library() -> Vec<Scenario> {
                 target_local: true,
                 ..FleetDynamics::calm()
             },
+            cluster: None,
         },
+        cloud_surge(),
+        budget_capped(),
     ]
 }
 
@@ -509,6 +603,95 @@ pub fn mega_fleet() -> Scenario {
             straggler_slowdown: 2.0,
             ..FleetDynamics::calm()
         },
+        cluster: None,
+    }
+}
+
+/// The elastic scale-out scenario: bursty arrivals of *logical-heavy*
+/// tasks (every device simulated on the cloud tier, large unit-bundle
+/// claims) against the default four-node pool. Each burst stacks more
+/// bundle demand than the booted capacity holds, so placement blocks,
+/// the autoscaler boots nodes, blocked tasks admit at the node-ready
+/// event — and the quiet stretches between bursts drain the surplus back
+/// toward the floor. The summary's [`CloudSummary::series`] is the Fig
+/// 8/9-style node-count-over-time story the elasticity bench plots.
+#[must_use]
+pub fn cloud_surge() -> Scenario {
+    let mins = SimDuration::from_mins;
+    Scenario {
+        name: "cloud_surge".into(),
+        description: "bursty logical-heavy arrivals force elastic scale-out, quiet \
+                      stretches scale back in"
+            .into(),
+        horizon: mins(30),
+        dispatch_interval: mins(1),
+        arrivals: ArrivalProcess::Bursty {
+            base_per_min: 0.2,
+            burst_multiplier: 14.0,
+            burst_every: mins(12),
+            burst_len: mins(2),
+        },
+        template: cloud_heavy_template(),
+        fleet: FleetDynamics::calm(),
+        cluster: None,
+    }
+}
+
+/// The cost-governed variant of [`cloud_surge`]: the same bursty
+/// logical-heavy traffic, but the autoscaler carries a spend-rate budget
+/// that affords six nodes — deep bursts queue behind the cap instead of
+/// scaling through it, trading wait time for cost. Node count in the
+/// emitted series never exceeds the budget cap.
+#[must_use]
+pub fn budget_capped() -> Scenario {
+    let mins = SimDuration::from_mins;
+    Scenario {
+        name: "budget_capped".into(),
+        description: "cloud_surge traffic under a 6-node hourly cost budget: queues \
+                      absorb what the budget refuses to boot"
+            .into(),
+        horizon: mins(30),
+        dispatch_interval: mins(1),
+        arrivals: ArrivalProcess::Bursty {
+            base_per_min: 0.2,
+            burst_multiplier: 14.0,
+            burst_every: mins(12),
+            burst_len: mins(2),
+        },
+        template: cloud_heavy_template(),
+        fleet: FleetDynamics::calm(),
+        cluster: Some(ClusterConfig {
+            autoscaler: AutoscalerConfig {
+                // Nodes cost 1.0/h (CostModel default): affords 6 nodes.
+                max_hourly_cost: Some(6.0),
+                ..AutoscalerConfig::default()
+            },
+            ..ClusterConfig::default()
+        }),
+    }
+}
+
+/// The task population of the elastic-tier scenarios: fully logical
+/// placement (`FixedLogicalFraction(1.0)` — no phone-cluster devices, so
+/// cloud capacity is the only bottleneck) with unit-bundle claims big
+/// enough that a burst outgrows the four initial nodes.
+fn cloud_heavy_template() -> TaskTemplate {
+    TaskTemplate {
+        rounds: (1, 2),
+        devices_per_grade: (16, 32),
+        benchmark_phones: 0,
+        allocation: simdc_core::AllocationPolicy::FixedLogicalFraction(1.0),
+        high: crate::GradeScheme {
+            unit_bundles: 64,
+            units_per_device: 8,
+            phones: 0,
+        },
+        low: crate::GradeScheme {
+            unit_bundles: 32,
+            units_per_device: 2,
+            phones: 0,
+        },
+        ..TaskTemplate::default()
     }
 }
 
@@ -541,6 +724,7 @@ mod tests {
                 ..TaskTemplate::default()
             },
             fleet: FleetDynamics::calm(),
+            cluster: None,
         }
     }
 
@@ -660,10 +844,88 @@ mod tests {
         assert!(a.events > a.arrivals + a.completed, "{a:?}");
     }
 
+    /// The tentpole acceptance check: one `cloud_surge` run scales the
+    /// node count up during the burst and back down afterwards, asserted
+    /// on the emitted time series — and blocked placements waited for
+    /// capacity instead of failing.
+    #[test]
+    fn cloud_surge_scales_up_then_back_down_within_one_run() {
+        let scenario = cloud_surge();
+        let data = dataset();
+        let summary = scenario.run(PlatformConfig::default(), &data, 5);
+        assert!(summary.submitted > 0, "{summary:?}");
+        assert_eq!(
+            summary.completed + summary.failed,
+            summary.submitted,
+            "{summary:?}"
+        );
+        assert_eq!(summary.failed, 0, "blocked placement must wait, not fail");
+
+        let cloud = &summary.cloud;
+        let first = cloud.series.first().expect("series sampled");
+        let peak_in_series = cloud.series.iter().map(|s| s.nodes).max().unwrap();
+        let last = cloud.series.last().unwrap();
+        assert!(
+            peak_in_series > first.nodes,
+            "burst must scale the pool out: {cloud:?}"
+        );
+        assert!(
+            last.ready < peak_in_series,
+            "quiet tail must scale back in: {cloud:?}"
+        );
+        assert_eq!(cloud.peak_nodes, peak_in_series);
+        assert!(cloud.nodes_retired > 0, "drained nodes retired: {cloud:?}");
+        assert!(cloud.node_ready_events > 0, "scale-ups woke the scheduler");
+        assert!(cloud.cost_total > 0.0);
+        // Cost is monotone along the series.
+        for pair in cloud.series.windows(2) {
+            assert!(pair[1].cost >= pair[0].cost);
+        }
+        // Some task actually waited on capacity (queueing is visible).
+        assert!(summary.max_wait_secs > 0.0, "{summary:?}");
+    }
+
+    #[test]
+    fn cloud_surge_is_byte_deterministic() {
+        let scenario = cloud_surge();
+        let data = dataset();
+        let a = scenario.run(PlatformConfig::default(), &data, 42);
+        let b = scenario.run(PlatformConfig::default(), &data, 42);
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "same seed must replay the elastic tier byte for byte"
+        );
+    }
+
+    #[test]
+    fn budget_cap_bounds_node_count_in_the_series() {
+        let scenario = budget_capped();
+        let data = dataset();
+        let summary = scenario.run(PlatformConfig::default(), &data, 5);
+        assert!(summary.submitted > 0);
+        for sample in &summary.cloud.series {
+            assert!(
+                sample.nodes <= 6,
+                "budget allows at most 6 nodes: {sample:?}"
+            );
+        }
+        assert_eq!(summary.cloud.peak_nodes.max(6), 6, "{:?}", summary.cloud);
+        // The capped pool pays with queueing: the same traffic waits at
+        // least as long as under the uncapped autoscaler.
+        let uncapped = cloud_surge().run(PlatformConfig::default(), &data, 5);
+        assert!(
+            summary.mean_wait_secs >= uncapped.mean_wait_secs,
+            "cap {} vs uncapped {}",
+            summary.mean_wait_secs,
+            uncapped.mean_wait_secs
+        );
+    }
+
     #[test]
     fn library_scenarios_validate() {
         let lib = library();
-        assert_eq!(lib.len(), 6);
+        assert_eq!(lib.len(), 8);
         let mut names = std::collections::BTreeSet::new();
         for scenario in &lib {
             scenario.validate().unwrap();
