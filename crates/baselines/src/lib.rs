@@ -22,6 +22,9 @@
 //! Both expose `round_time(n)` for the timing comparison and `run_round`
 //! for semantic-equivalence tests against the SimDC runner.
 
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
 use serde::{Deserialize, Serialize};
 use simdc_data::CtrDataset;
 use simdc_ml::{FedAvg, KernelKind, LocalTrainer, LrModel, TrainConfig};

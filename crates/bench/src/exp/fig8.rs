@@ -104,7 +104,7 @@ pub fn run(opts: &ExpOptions) -> Vec<Point> {
                     points
                         .iter()
                         .find(|p| p.devices == n && p.framework == name)
-                        .unwrap()
+                        .expect("both frameworks measured at every scale")
                         .round_secs
                 };
                 vec![

@@ -81,6 +81,9 @@ pub fn run(opts: &ExpOptions) -> ScaleResult {
         ..PlatformConfig::default()
     };
 
+    // Wall-clock throughput is this bench's product (clippy.toml bans
+    // `Instant::now` in simulation code; `crates/bench` is harness).
+    #[allow(clippy::disallowed_methods)]
     let started = Instant::now();
     let summary = scenario.run(config, &data, opts.seed);
     let wall_secs = started.elapsed().as_secs_f64().max(1e-9);

@@ -5,6 +5,9 @@
 //! the bits they share: CLI parsing, result serialization and small
 //! text-rendering helpers.
 
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
 use std::path::PathBuf;
 
 use serde::Serialize;

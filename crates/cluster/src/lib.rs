@@ -84,6 +84,7 @@
 //! ```
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod autoscaler;
 pub mod cost;

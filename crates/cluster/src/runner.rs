@@ -1,7 +1,7 @@
 //! The Ray Runner: job submission, placement-group lifecycle and actor
 //! scheduling on the elastic node pool.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 use simdc_simrt::RngStream;
@@ -224,7 +224,7 @@ pub struct LogicalCluster {
     cost: CostModel,
     autoscaler: Autoscaler,
     meter: CostMeter,
-    groups: HashMap<PlacementGroupId, PlacementGroup>,
+    groups: BTreeMap<PlacementGroupId, PlacementGroup>,
     next_group: u64,
     next_actor: u64,
     clock: SimInstant,
@@ -246,7 +246,7 @@ impl LogicalCluster {
             cost: config.cost,
             autoscaler: Autoscaler::new(config.autoscaler).with_min_nodes(config.initial_nodes),
             meter: CostMeter::new(SimInstant::EPOCH),
-            groups: HashMap::new(),
+            groups: BTreeMap::new(),
             next_group: 0,
             next_actor: 0,
             clock: SimInstant::EPOCH,

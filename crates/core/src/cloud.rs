@@ -8,7 +8,7 @@
 //! (§VI-C.1), so aggregation fires on a trigger: a sample threshold or a
 //! schedule.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use serde::{Deserialize, Serialize};
@@ -20,7 +20,7 @@ use simdc_ml::{LocalUpdate, LrModel};
 /// cloud services).
 #[derive(Debug, Default)]
 pub struct Storage {
-    map: HashMap<StorageKey, Bytes>,
+    map: BTreeMap<StorageKey, Bytes>,
     bytes_written: u64,
 }
 

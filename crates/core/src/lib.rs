@@ -53,6 +53,9 @@
 //! # Ok::<(), simdc_types::SimdcError>(())
 //! ```
 
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub mod alloc;
 pub mod cloud;
 pub mod platform;

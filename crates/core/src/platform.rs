@@ -20,7 +20,7 @@
 //! interleaves arrivals with pending completions on the same timeline,
 //! which is what keeps queueing delays honest under sustained traffic.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
@@ -132,16 +132,16 @@ pub struct Platform {
     queue: TaskQueue,
     scheduler: GreedyScheduler,
     runner: TaskRunner,
-    datasets: HashMap<TaskId, Arc<CtrDataset>>,
-    reports: HashMap<TaskId, TaskReport>,
+    datasets: BTreeMap<TaskId, Arc<CtrDataset>>,
+    reports: BTreeMap<TaskId, TaskReport>,
     /// Planned executions of running tasks, keyed by task; each has a
     /// matching completion event in `events`.
-    plans: HashMap<TaskId, TaskPlan>,
+    plans: BTreeMap<TaskId, TaskPlan>,
     /// Per-pending-task actor-bundle placement requests, computed once at
     /// submission (the allocation is deterministic in the spec and cost
     /// model). Scheduling passes run the cloud placement trial against
     /// this cache; entries leave when the task leaves the pending state.
-    placement_reqs: HashMap<TaskId, Vec<(ResourceBundle, u64)>>,
+    placement_reqs: BTreeMap<TaskId, Vec<(ResourceBundle, u64)>>,
     /// Pending completion events on the virtual timeline.
     events: EventQueue<PlatformEvent>,
     /// Completion events processed so far — including tasks that failed
@@ -182,10 +182,10 @@ impl Platform {
             queue: TaskQueue::new(),
             scheduler: GreedyScheduler::new(),
             runner: TaskRunner::new(config.runner),
-            datasets: HashMap::new(),
-            reports: HashMap::new(),
-            plans: HashMap::new(),
-            placement_reqs: HashMap::new(),
+            datasets: BTreeMap::new(),
+            reports: BTreeMap::new(),
+            plans: BTreeMap::new(),
+            placement_reqs: BTreeMap::new(),
             events: EventQueue::new(),
             completion_events: 0,
             cluster_events: 0,

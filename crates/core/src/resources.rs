@@ -6,7 +6,7 @@
 //! without touching the substrates; the substrates enforce the physical
 //! placement when the task actually runs.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 use simdc_types::{DeviceGrade, PerGrade, Result, SimdcError, TaskId};
@@ -35,7 +35,7 @@ pub struct ResourceManager {
     free_bundles: u64,
     total_phones: PerGrade<u64>,
     free_phones: PerGrade<u64>,
-    leases: HashMap<TaskId, ResourceClaim>,
+    leases: BTreeMap<TaskId, ResourceClaim>,
 }
 
 impl ResourceManager {
@@ -47,7 +47,7 @@ impl ResourceManager {
             free_bundles: total_bundles,
             total_phones,
             free_phones: total_phones,
-            leases: HashMap::new(),
+            leases: BTreeMap::new(),
         }
     }
 

@@ -156,7 +156,7 @@ mod tests {
     #[test]
     fn values_spread_across_dimension() {
         let h = FeatureHasher::new(1 << 14);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for v in 0..1_000u32 {
             seen.insert(h.index("c14", v));
         }

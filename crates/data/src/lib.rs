@@ -26,6 +26,9 @@
 //! assert!(rate > 0.03 && rate < 0.7, "plausible CTR, got {rate}");
 //! ```
 
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub mod dataset;
 pub mod features;
 pub mod generator;

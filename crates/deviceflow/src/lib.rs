@@ -43,6 +43,9 @@
 //! # let _ = harness;
 //! ```
 
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub mod controller;
 pub mod discretize;
 pub mod dispatcher;

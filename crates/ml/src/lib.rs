@@ -43,6 +43,9 @@
 //! assert!(m.accuracy > 0.5);
 //! ```
 
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub mod fedavg;
 pub mod kernel;
 pub mod metrics;

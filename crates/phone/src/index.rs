@@ -32,7 +32,7 @@
 //! existing callers stay correct without threading hooks everywhere.
 
 use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 use simdc_types::{DeviceGrade, PhoneId, SimInstant};
 
@@ -69,7 +69,7 @@ pub(crate) struct FleetIndex {
     /// Each phone's last-indexed profile contribution
     /// `(train_secs, startup_secs)` — subtracted before re-adding on a
     /// profile change so the sums never double-count.
-    cached_profile: HashMap<PhoneId, (f64, f64)>,
+    cached_profile: BTreeMap<PhoneId, (f64, f64)>,
     /// Future instants at which a phone's availability may flip (run end,
     /// scheduled crash onset). Entries may be stale — re-indexing is
     /// idempotent, so stale pops are harmless.
@@ -201,7 +201,7 @@ impl FleetIndex {
         &mut self,
         now: SimInstant,
         phones: &[PhoneDevice],
-        by_id: &HashMap<PhoneId, usize>,
+        by_id: &BTreeMap<PhoneId, usize>,
     ) {
         let at = self.indexed_to.max(now);
         self.indexed_to = at;

@@ -30,6 +30,9 @@
 //! assert_eq!(picked.len(), 2);
 //! ```
 
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub mod adb;
 pub mod device;
 pub(crate) mod index;

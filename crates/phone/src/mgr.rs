@@ -21,7 +21,7 @@
 //! availability but never hand out a busy phone.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 use simdc_simrt::TimeSeries;
@@ -92,7 +92,7 @@ pub struct PhoneMgr {
     phones: Vec<PhoneDevice>,
     /// O(1) id → slot lookup (slots are stable except across `retire`,
     /// which swap-removes and patches the moved phone's entry).
-    by_id: HashMap<PhoneId, usize>,
+    by_id: BTreeMap<PhoneId, usize>,
     poll_interval: SimDuration,
     /// Incremental availability index; interior mutability keeps the
     /// read-path API (`select`, `available`, `effective_profile`) on
@@ -112,7 +112,7 @@ impl PhoneMgr {
         assert!(!poll_interval.is_zero(), "poll interval must be positive");
         PhoneMgr {
             phones: Vec::new(),
-            by_id: HashMap::new(),
+            by_id: BTreeMap::new(),
             poll_interval,
             index: RefCell::new(FleetIndex::default()),
         }

@@ -1,0 +1,335 @@
+//! `simlint.toml`: the reviewed-exception surface of the linter.
+//!
+//! Every rule can be relaxed here — and *only* here, so an intentional
+//! exception is a diffable, reviewable line instead of an inline
+//! attribute scattered through the tree. The format is a small TOML
+//! subset (tables, strings, booleans, string arrays, `#` comments),
+//! parsed by hand because the linter must not depend on the crates it
+//! audits (and the workspace deliberately vendors no TOML parser).
+//!
+//! Unknown keys are hard errors: a typoed allowlist entry that silently
+//! parses is an allowlist that silently does nothing.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+/// A parse or validation error in `simlint.toml`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(pub String);
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "simlint.toml: {}", self.0)
+    }
+}
+
+/// One parsed TOML value (the subset simlint uses).
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Str(String),
+    Bool(bool),
+    List(Vec<String>),
+}
+
+/// The linter configuration. `Config::default()` is the strictest
+/// setting — everything the workspace relaxes is in its `simlint.toml`.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Workspace-relative path prefixes treated as measurement harness:
+    /// rule D2 (wall-clock / ambient entropy) does not apply there,
+    /// because wall timings are those crates' product.
+    pub harness: Vec<String>,
+    /// Per-rule file allowlists, keyed by rule slug (e.g.
+    /// `hash-collections`). Entries are workspace-relative paths.
+    pub allow: BTreeMap<String, Vec<String>>,
+    /// Whether `.expect("…")` is acceptable in library code. The
+    /// workspace sets this to `true`: an expect message documents the
+    /// invariant whose violation panics. Bare `.unwrap()` stays banned.
+    pub allow_expect: bool,
+    /// Receiver identifiers whose `.freeze(..)` / `.release(..)` calls
+    /// are lease operations (rule D3), as opposed to e.g.
+    /// `BytesMut::freeze`.
+    pub lease_receivers: Vec<String>,
+    /// Files allowed to call lease freeze/release: the plan/commit
+    /// pairing points.
+    pub lease_callers: Vec<String>,
+    /// Files that own direct task-state assignment (the `mark_*` APIs).
+    pub state_owners: Vec<String>,
+    /// Identifier whose presence marks a file as task-lifecycle-aware;
+    /// `.state = …` assignments are only policed in files referencing it
+    /// (so unrelated `state` fields — RNG internals, node lifecycles —
+    /// are not dragged in).
+    pub state_guard: String,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            harness: Vec::new(),
+            allow: BTreeMap::new(),
+            allow_expect: false,
+            lease_receivers: vec!["rm".into()],
+            lease_callers: Vec::new(),
+            state_owners: Vec::new(),
+            state_guard: "TaskState".into(),
+        }
+    }
+}
+
+impl Config {
+    /// Parses a `simlint.toml` document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] on malformed syntax or unknown keys.
+    pub fn parse(text: &str) -> Result<Config, ConfigError> {
+        let values = parse_toml(text)?;
+        let mut config = Config::default();
+        for (key, value) in values {
+            match key.as_str() {
+                "workspace.harness" => config.harness = expect_list(&key, value)?,
+                "rules.unwrap-in-lib.allow_expect" => {
+                    config.allow_expect = expect_bool(&key, value)?;
+                }
+                "rules.freeze-release.receivers" => {
+                    config.lease_receivers = expect_list(&key, value)?;
+                }
+                "rules.freeze-release.callers" => {
+                    config.lease_callers = expect_list(&key, value)?;
+                }
+                "rules.task-state.owners" => config.state_owners = expect_list(&key, value)?,
+                "rules.task-state.guard" => config.state_guard = expect_str(&key, value)?,
+                _ => {
+                    if let Some(rule) = key
+                        .strip_prefix("rules.")
+                        .and_then(|r| r.strip_suffix(".allow"))
+                    {
+                        config
+                            .allow
+                            .insert(rule.to_string(), expect_list(&key, value)?);
+                    } else {
+                        return Err(ConfigError(format!("unknown key `{key}`")));
+                    }
+                }
+            }
+        }
+        Ok(config)
+    }
+
+    /// Loads the config from `<root>/simlint.toml`; absent file means
+    /// default (strictest) settings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when the file exists but does not parse.
+    pub fn load(root: &Path) -> Result<Config, ConfigError> {
+        match std::fs::read_to_string(root.join("simlint.toml")) {
+            Ok(text) => Config::parse(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Config::default()),
+            Err(e) => Err(ConfigError(format!("unreadable: {e}"))),
+        }
+    }
+
+    /// Whether `path` (workspace-relative, `/`-separated) is allowlisted
+    /// for `rule`.
+    pub fn is_allowed(&self, rule: &str, path: &str) -> bool {
+        self.allow
+            .get(rule)
+            .is_some_and(|files| files.iter().any(|f| f == path))
+    }
+
+    /// Whether `path` lies under a harness prefix.
+    pub fn is_harness(&self, path: &str) -> bool {
+        self.harness.iter().any(|p| {
+            path == p
+                || path
+                    .strip_prefix(p.as_str())
+                    .is_some_and(|r| r.starts_with('/'))
+        })
+    }
+}
+
+fn expect_list(key: &str, value: Value) -> Result<Vec<String>, ConfigError> {
+    match value {
+        Value::List(v) => Ok(v),
+        _ => Err(ConfigError(format!("`{key}` must be a string array"))),
+    }
+}
+
+fn expect_bool(key: &str, value: Value) -> Result<bool, ConfigError> {
+    match value {
+        Value::Bool(b) => Ok(b),
+        _ => Err(ConfigError(format!("`{key}` must be a boolean"))),
+    }
+}
+
+fn expect_str(key: &str, value: Value) -> Result<String, ConfigError> {
+    match value {
+        Value::Str(s) => Ok(s),
+        _ => Err(ConfigError(format!("`{key}` must be a string"))),
+    }
+}
+
+/// Parses the TOML subset into dotted-key → value pairs.
+fn parse_toml(text: &str) -> Result<BTreeMap<String, Value>, ConfigError> {
+    let mut out = BTreeMap::new();
+    let mut section = String::new();
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((n, raw)) = lines.next() {
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let name = rest
+                .strip_suffix(']')
+                .ok_or_else(|| ConfigError(format!("line {}: unterminated table header", n + 1)))?;
+            section = name.trim().to_string();
+            continue;
+        }
+        let (key, mut value_text) = line
+            .split_once('=')
+            .map(|(k, v)| (k.trim().to_string(), v.trim().to_string()))
+            .ok_or_else(|| ConfigError(format!("line {}: expected `key = value`", n + 1)))?;
+        // Multi-line arrays: keep consuming until the closing bracket.
+        if value_text.starts_with('[') {
+            while !value_text.trim_end().ends_with(']') {
+                let (_, cont) = lines
+                    .next()
+                    .ok_or_else(|| ConfigError(format!("line {}: unterminated array", n + 1)))?;
+                value_text.push(' ');
+                value_text.push_str(strip_comment(cont).trim());
+            }
+        }
+        let full_key = if section.is_empty() {
+            key
+        } else {
+            format!("{section}.{key}")
+        };
+        let value = parse_value(value_text.trim())
+            .map_err(|e| ConfigError(format!("line {}: {e}", n + 1)))?;
+        if out.insert(full_key.clone(), value).is_some() {
+            return Err(ConfigError(format!("duplicate key `{full_key}`")));
+        }
+    }
+    Ok(out)
+}
+
+/// Drops a trailing `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(text: &str) -> Result<Value, String> {
+    if text == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if text == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(inner) = text.strip_prefix('"') {
+        let s = inner
+            .strip_suffix('"')
+            .ok_or_else(|| "unterminated string".to_string())?;
+        return Ok(Value::Str(s.to_string()));
+    }
+    if let Some(inner) = text.strip_prefix('[') {
+        let body = inner
+            .strip_suffix(']')
+            .ok_or_else(|| "unterminated array".to_string())?
+            .trim();
+        let mut items = Vec::new();
+        if !body.is_empty() {
+            for item in body.split(',') {
+                let item = item.trim();
+                if item.is_empty() {
+                    continue; // trailing comma
+                }
+                match parse_value(item)? {
+                    Value::Str(s) => items.push(s),
+                    _ => return Err("arrays may only hold strings".into()),
+                }
+            }
+        }
+        return Ok(Value::List(items));
+    }
+    Err(format!("unsupported value `{text}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_surface() {
+        let cfg = Config::parse(
+            r##"
+# comment
+[workspace]
+harness = ["crates/bench"]
+
+[rules.hash-collections]
+allow = [
+    "crates/a/src/x.rs", # reviewed: order never escapes
+    "crates/b/src/y.rs",
+]
+
+[rules.unwrap-in-lib]
+allow_expect = true
+
+[rules.freeze-release]
+receivers = ["rm"]
+callers = ["crates/core/src/platform.rs"]
+
+[rules.task-state]
+owners = ["crates/core/src/queue.rs"]
+guard = "TaskState"
+"##,
+        )
+        .expect("parses");
+        assert!(cfg.is_harness("crates/bench/src/lib.rs"));
+        assert!(!cfg.is_harness("crates/benchmark/src/lib.rs"));
+        assert!(cfg.is_allowed("hash-collections", "crates/a/src/x.rs"));
+        assert!(!cfg.is_allowed("hash-collections", "crates/c/src/z.rs"));
+        assert!(cfg.allow_expect);
+        assert_eq!(cfg.lease_callers, vec!["crates/core/src/platform.rs"]);
+        assert_eq!(cfg.state_owners, vec!["crates/core/src/queue.rs"]);
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected() {
+        let err = Config::parse("[rules.hash-collections]\nallowed = []").unwrap_err();
+        assert!(err.0.contains("unknown key"), "{err}");
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(Config::parse("just text").is_err());
+        assert!(Config::parse("[unclosed").is_err());
+        assert!(Config::parse("k = [\"a\"").is_err());
+        assert!(Config::parse("[t]\nk = 17").is_err());
+    }
+
+    #[test]
+    fn empty_and_missing_config_are_strict_defaults() {
+        let cfg = Config::parse("").expect("empty parses");
+        assert!(!cfg.allow_expect);
+        assert!(cfg.harness.is_empty());
+        assert_eq!(cfg.lease_receivers, vec!["rm"]);
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected() {
+        let err = Config::parse("[workspace]\nharness = []\nharness = []").unwrap_err();
+        assert!(err.0.contains("duplicate"), "{err}");
+    }
+}

@@ -1,0 +1,37 @@
+//! `simlint`: SimDC's workspace determinism & invariant linter.
+//!
+//! The platform's core promise — same-seed runs are byte-identical and
+//! the golden `table1`/`fig5` fixtures survive every PR — used to rest
+//! on convention: ordered maps by habit, freeze/release pairing by
+//! `debug_assert`, no wall-clock reads because nobody had added one yet.
+//! `simlint` turns each convention into a checked property. It is an
+//! offline, dependency-free static-analysis pass with its own
+//! lightweight Rust scanner ([`lexer`]); it does not parse Rust fully —
+//! it lexes just enough to pattern-match the project-specific rules in
+//! [`rules`] without tripping over strings or doc comments.
+//!
+//! Run it over the workspace (the CI gate):
+//!
+//! ```text
+//! cargo run -p simdc-simlint --release -- --workspace
+//! ```
+//!
+//! Exit code 0 means a clean tree; any finding exits 1 and prints
+//! GCC-style `path:line:col: [code] message` diagnostics. Intentional
+//! exceptions live in `simlint.toml` at the workspace root ([`config`]),
+//! never inline — see ARCHITECTURE.md § "Static analysis & determinism
+//! discipline" for the rule catalog and the allowlist policy.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+pub use config::{Config, ConfigError};
+pub use diag::Finding;
+pub use rules::{lint_file, FileContext};
+pub use walk::{find_workspace_root, lint_workspace, ScanReport};

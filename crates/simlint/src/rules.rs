@@ -1,0 +1,534 @@
+//! The rule catalog: SimDC's determinism and invariant discipline as
+//! checkable properties.
+//!
+//! | code | rule | what it guards |
+//! |------|------|----------------|
+//! | `D1/hash-collections` | no `HashMap`/`HashSet` in simulation code | iteration order feeds schedules, summaries and golden fixtures |
+//! | `D2/wall-clock` | no `Instant`/`SystemTime` outside harness code | virtual time must come from the event loop |
+//! | `D2/ambient-entropy` | no `thread_rng`/`RandomState`/`from_entropy`/`env::var` | all randomness is seeded, all config explicit |
+//! | `D3/task-state` | `.state = …` only inside the `mark_*` owner files | terminal-state discipline is an API, not a convention |
+//! | `D3/freeze-release` | lease `freeze`/`release` only at pairing points | every freeze must meet its release at the completion event |
+//! | `D4/lint-gates` | crate roots carry `deny(missing_docs)` + `forbid(unsafe_code)` | hygiene gates stay on as crates are added |
+//! | `D4/unwrap-in-lib` | no `.unwrap()` (and optionally `.expect`) in library code | library panics carry an invariant message or propagate |
+//! | `D4/pub-docs` | pub items documented in crates not yet under the doc gate | migration path onto `deny(missing_docs)` |
+//!
+//! Test-gated code (`#[cfg(test)]`, `#[test]`) is exempt from all rules:
+//! the discipline protects simulation behavior, not test scaffolding.
+
+use crate::config::Config;
+use crate::diag::Finding;
+use crate::lexer::{lex, TokKind, Token};
+
+/// Per-file facts the walker supplies alongside the source text.
+#[derive(Debug, Clone, Default)]
+pub struct FileContext {
+    /// Whether this file is a crate root (`src/lib.rs`), where the
+    /// hygiene gates must sit.
+    pub is_crate_root: bool,
+    /// Whether the file's crate already compiles under
+    /// `#![deny(missing_docs)]` (then `D4/pub-docs` is redundant —
+    /// rustc enforces the stronger property).
+    pub crate_has_doc_gate: bool,
+}
+
+/// Lints one file; `path` must be workspace-relative with `/` separators.
+pub fn lint_file(path: &str, source: &str, ctx: &FileContext, cfg: &Config) -> Vec<Finding> {
+    let tokens = lex(source);
+    let mut findings = Vec::new();
+    let harness = cfg.is_harness(path);
+
+    if !cfg.is_allowed("hash-collections", path) {
+        rule_hash_collections(path, &tokens, &mut findings);
+    }
+    if !harness {
+        if !cfg.is_allowed("wall-clock", path) {
+            rule_wall_clock(path, &tokens, &mut findings);
+        }
+        if !cfg.is_allowed("ambient-entropy", path) {
+            rule_ambient_entropy(path, &tokens, &mut findings);
+        }
+    }
+    if !cfg.is_allowed("task-state", path) {
+        rule_task_state(path, &tokens, ctx, cfg, &mut findings);
+    }
+    if !cfg.is_allowed("freeze-release", path) {
+        rule_freeze_release(path, &tokens, cfg, &mut findings);
+    }
+    if ctx.is_crate_root && !cfg.is_allowed("lint-gates", path) {
+        rule_lint_gates(path, &tokens, &mut findings);
+    }
+    if !cfg.is_allowed("unwrap-in-lib", path) {
+        rule_unwrap(path, &tokens, cfg, &mut findings);
+    }
+    if !ctx.crate_has_doc_gate && !cfg.is_allowed("pub-docs", path) {
+        rule_pub_docs(path, source, &tokens, &mut findings);
+    }
+    crate::diag::sort_findings(&mut findings);
+    findings
+}
+
+fn finding(path: &str, tok: &Token, code: &'static str, message: String) -> Finding {
+    Finding {
+        path: path.to_string(),
+        line: tok.line,
+        col: tok.col,
+        code,
+        message,
+    }
+}
+
+/// D1: unordered hash collections on simulation paths.
+fn rule_hash_collections(path: &str, tokens: &[Token], out: &mut Vec<Finding>) {
+    for tok in tokens {
+        if tok.in_test || tok.kind != TokKind::Ident {
+            continue;
+        }
+        let ordered = match tok.text.as_str() {
+            "HashMap" => "BTreeMap",
+            "HashSet" => "BTreeSet",
+            _ => continue,
+        };
+        out.push(finding(
+            path,
+            tok,
+            "D1/hash-collections",
+            format!(
+                "`{}` iterates in hasher order — use `{}` or an ordered index so \
+                 same-seed runs stay byte-identical",
+                tok.text, ordered
+            ),
+        ));
+    }
+}
+
+/// D2: wall-clock time sources.
+fn rule_wall_clock(path: &str, tokens: &[Token], out: &mut Vec<Finding>) {
+    for tok in tokens {
+        if tok.in_test || tok.kind != TokKind::Ident {
+            continue;
+        }
+        if tok.text == "Instant" || tok.text == "SystemTime" {
+            out.push(finding(
+                path,
+                tok,
+                "D2/wall-clock",
+                format!(
+                    "wall-clock `{}` in simulation code — virtual time comes from \
+                     `SimInstant` and the event loop (measurement harnesses belong \
+                     under a `[workspace] harness` prefix in simlint.toml)",
+                    tok.text
+                ),
+            ));
+        }
+    }
+}
+
+/// D2: ambient entropy and environment-dependent behavior.
+fn rule_ambient_entropy(path: &str, tokens: &[Token], out: &mut Vec<Finding>) {
+    for (i, tok) in tokens.iter().enumerate() {
+        if tok.in_test || tok.kind != TokKind::Ident {
+            continue;
+        }
+        match tok.text.as_str() {
+            "thread_rng" | "RandomState" | "from_entropy" => {
+                out.push(finding(
+                    path,
+                    tok,
+                    "D2/ambient-entropy",
+                    format!(
+                        "ambient randomness `{}` — seed a deterministic RNG \
+                         (`simdc_simrt::SimRng`) explicitly so runs replay",
+                        tok.text
+                    ),
+                ));
+            }
+            // `env::var` / `std::env::var` — but not the compile-time
+            // `env!` macro and not `env::args` (explicit CLI input).
+            "env"
+                if tokens.get(i + 1).is_some_and(|t| t.is_punct("::"))
+                    && tokens.get(i + 2).is_some_and(|t| t.is_ident("var")) =>
+            {
+                out.push(finding(
+                    path,
+                    tok,
+                    "D2/ambient-entropy",
+                    "environment-dependent `env::var` — thread configuration \
+                     through explicit config structs so behavior is a function \
+                     of inputs"
+                        .to_string(),
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// D3: direct task-state assignment outside the `mark_*` owner files.
+///
+/// Only files that reference the lifecycle type (`TaskState` by default)
+/// are policed; `state` fields of unrelated types (RNG internals, node
+/// lifecycles) keep their name without tripping the rule.
+fn rule_task_state(
+    path: &str,
+    tokens: &[Token],
+    _ctx: &FileContext,
+    cfg: &Config,
+    out: &mut Vec<Finding>,
+) {
+    if cfg.state_owners.iter().any(|o| o == path) {
+        return;
+    }
+    if !tokens
+        .iter()
+        .any(|t| !t.in_test && t.is_ident(&cfg.state_guard))
+    {
+        return;
+    }
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        if t.in_test || !t.is_ident("state") {
+            continue;
+        }
+        // Pattern: `. state =` with the `=` not part of `==`, `=>`.
+        if i == 0 || !tokens[i - 1].is_punct(".") {
+            continue;
+        }
+        let Some(next) = tokens.get(i + 1) else {
+            continue;
+        };
+        if !next.is_punct("=") {
+            continue;
+        }
+        if tokens
+            .get(i + 2)
+            .is_some_and(|t| t.is_punct("=") || t.is_punct(">"))
+        {
+            continue;
+        }
+        out.push(finding(
+            path,
+            t,
+            "D3/task-state",
+            format!(
+                "task state assigned directly — route the transition through the \
+                 `mark_*` APIs ({}) so terminal states stay terminal",
+                cfg.state_owners.join(", ")
+            ),
+        ));
+    }
+}
+
+/// D3: lease freeze/release outside the plan/commit pairing points.
+fn rule_freeze_release(path: &str, tokens: &[Token], cfg: &Config, out: &mut Vec<Finding>) {
+    if cfg.lease_callers.iter().any(|c| c == path) {
+        return;
+    }
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        if t.in_test || t.kind != TokKind::Ident {
+            continue;
+        }
+        if !cfg.lease_receivers.iter().any(|r| t.is_ident(r)) {
+            continue;
+        }
+        let (Some(dot), Some(method), Some(paren)) =
+            (tokens.get(i + 1), tokens.get(i + 2), tokens.get(i + 3))
+        else {
+            continue;
+        };
+        if dot.is_punct(".")
+            && (method.is_ident("freeze") || method.is_ident("release"))
+            && paren.is_punct("(")
+        {
+            out.push(finding(
+                path,
+                method,
+                "D3/freeze-release",
+                format!(
+                    "lease `{}.{}` outside the plan/commit pairing points ({}) — \
+                     freezes happen at admission, releases at the completion event, \
+                     nowhere else",
+                    t.text,
+                    method.text,
+                    cfg.lease_callers.join(", ")
+                ),
+            ));
+        }
+    }
+}
+
+/// D4: crate roots must carry both hygiene gates.
+fn rule_lint_gates(path: &str, tokens: &[Token], out: &mut Vec<Finding>) {
+    let has = |ident: &str| tokens.iter().any(|t| t.is_ident(ident));
+    let origin = Token {
+        line: 1,
+        col: 1,
+        text: String::new(),
+        kind: TokKind::Punct,
+        in_test: false,
+    };
+    if !(has("deny") && has("missing_docs")) {
+        out.push(finding(
+            path,
+            &origin,
+            "D4/lint-gates",
+            "crate root lacks `#![deny(missing_docs)]` — every public item must \
+             explain itself"
+                .to_string(),
+        ));
+    }
+    if !(has("forbid") && has("unsafe_code")) {
+        out.push(finding(
+            path,
+            &origin,
+            "D4/lint-gates",
+            "crate root lacks `#![forbid(unsafe_code)]` — the simulator is \
+             safe-Rust only"
+                .to_string(),
+        ));
+    }
+}
+
+/// D4: `.unwrap()` (and, unless relaxed, `.expect(`) in library code.
+fn rule_unwrap(path: &str, tokens: &[Token], cfg: &Config, out: &mut Vec<Finding>) {
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        if t.in_test || !t.is_punct(".") {
+            continue;
+        }
+        let Some(method) = tokens.get(i + 1) else {
+            continue;
+        };
+        if !tokens.get(i + 2).is_some_and(|t| t.is_punct("(")) {
+            continue;
+        }
+        if method.is_ident("unwrap") && tokens.get(i + 3).is_some_and(|t| t.is_punct(")")) {
+            out.push(finding(
+                path,
+                method,
+                "D4/unwrap-in-lib",
+                "`unwrap()` in library code — propagate the error or use \
+                 `expect(\"invariant\")` to document why this cannot fail"
+                    .to_string(),
+            ));
+        } else if method.is_ident("expect") && !cfg.allow_expect {
+            out.push(finding(
+                path,
+                method,
+                "D4/unwrap-in-lib",
+                "`expect()` in library code — propagate the error instead \
+                 (set `allow_expect = true` under [rules.unwrap-in-lib] to accept \
+                 invariant-documenting expects)"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// D4: public items without a doc comment, in crates not yet compiled
+/// under `deny(missing_docs)`.
+fn rule_pub_docs(path: &str, source: &str, tokens: &[Token], out: &mut Vec<Finding>) {
+    let lines: Vec<&str> = source.lines().collect();
+    let documented = |pub_line: u32| -> bool {
+        // Walk upward over attributes and blanks; a doc comment (or doc
+        // attribute) immediately above the item documents it.
+        let mut l = pub_line as usize - 1; // to 0-based, then step up
+        while l > 0 {
+            l -= 1;
+            let text = lines.get(l).map_or("", |s| s.trim_start());
+            if text.is_empty() || (text.starts_with("#[") && !text.starts_with("#[doc")) {
+                continue;
+            }
+            return text.starts_with("///") || text.starts_with("#[doc") || text.starts_with("/**");
+        }
+        false
+    };
+    const ITEM_KINDS: [&str; 9] = [
+        "fn", "struct", "enum", "trait", "mod", "const", "static", "type", "union",
+    ];
+    for (i, t) in tokens.iter().enumerate() {
+        if t.in_test || !t.is_ident("pub") {
+            continue;
+        }
+        // `pub(crate)` and friends are not public API.
+        let mut j = i + 1;
+        if tokens.get(j).is_some_and(|t| t.is_punct("(")) {
+            continue;
+        }
+        // Skip `unsafe`/`async`/`extern` qualifiers to reach the kind.
+        while tokens
+            .get(j)
+            .is_some_and(|t| t.is_ident("unsafe") || t.is_ident("async") || t.is_ident("extern"))
+        {
+            j += 1;
+        }
+        let Some(kind) = tokens.get(j) else { continue };
+        if kind.kind != TokKind::Ident || !ITEM_KINDS.contains(&kind.text.as_str()) {
+            continue;
+        }
+        if !documented(t.line) {
+            out.push(finding(
+                path,
+                t,
+                "D4/pub-docs",
+                format!(
+                    "public `{}` without a doc comment — document it (the crate \
+                     is not yet under `#![deny(missing_docs)]`)",
+                    kind.text
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(source: &str) -> Vec<Finding> {
+        lint_file("x.rs", source, &FileContext::default(), &Config::default())
+    }
+
+    fn codes(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.code).collect()
+    }
+
+    #[test]
+    fn hash_map_flagged_outside_tests_only() {
+        let f = run("use std::collections::HashMap;\n#[cfg(test)]\nmod t { use std::collections::HashSet; }");
+        assert_eq!(codes(&f), vec!["D1/hash-collections"]);
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn wall_clock_and_entropy_flagged() {
+        let f = run("fn f() { let t = std::time::Instant::now(); let r = thread_rng(); }");
+        assert_eq!(codes(&f), vec!["D2/wall-clock", "D2/ambient-entropy"]);
+    }
+
+    #[test]
+    fn env_var_flagged_but_args_and_macro_are_not() {
+        assert_eq!(
+            codes(&run("fn f() { let v = std::env::var(\"X\"); }")),
+            vec!["D2/ambient-entropy"]
+        );
+        assert!(run("fn f() { let a = std::env::args(); }").is_empty());
+        assert!(run("const D: &str = env!(\"CARGO_MANIFEST_DIR\");").is_empty());
+    }
+
+    #[test]
+    fn state_assignment_needs_the_guard_ident() {
+        // No TaskState reference: a `state` field of some other type.
+        assert!(run("fn f(s: &mut Rng) { s.state = 1; }").is_empty());
+        // With the guard referenced, assignment is flagged…
+        let src = "use x::TaskState;\nfn f(r: &mut Rec) { r.state = TaskState::Pending; }";
+        assert_eq!(codes(&run(src)), vec!["D3/task-state"]);
+        // …but comparisons and matches are not.
+        let cmp = "use x::TaskState;\nfn f(r: &Rec) -> bool { r.state == TaskState::Pending }";
+        assert!(run(cmp).is_empty());
+    }
+
+    #[test]
+    fn state_owner_file_is_exempt() {
+        let cfg = Config {
+            state_owners: vec!["owner.rs".into()],
+            ..Config::default()
+        };
+        let src = "use x::TaskState;\nfn f(r: &mut Rec) { r.state = TaskState::Pending; }";
+        let f = lint_file("owner.rs", src, &FileContext::default(), &cfg);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn lease_calls_match_receiver_not_type() {
+        // `rm` receiver outside a pairing point: flagged (freeze + release).
+        let f = run("fn f(rm: &mut Rm) { rm.freeze(t, c); rm.release(t); }");
+        assert_eq!(codes(&f), vec!["D3/freeze-release", "D3/freeze-release"]);
+        // `buf.freeze()` (BytesMut) has a different receiver: clean.
+        assert!(run("fn f(buf: BytesMut) -> Bytes { buf.freeze() }").is_empty());
+        // Pairing-point file is exempt.
+        let cfg = Config {
+            lease_callers: vec!["pair.rs".into()],
+            ..Config::default()
+        };
+        let ok = lint_file(
+            "pair.rs",
+            "fn f(rm: &mut Rm) { rm.freeze(t, c); }",
+            &FileContext::default(),
+            &cfg,
+        );
+        assert!(ok.is_empty());
+    }
+
+    #[test]
+    fn self_rm_calls_are_caught() {
+        let f = run("impl P { fn f(&mut self) { self.rm.release(id); } }");
+        assert_eq!(codes(&f), vec!["D3/freeze-release"]);
+    }
+
+    #[test]
+    fn crate_root_gates_required() {
+        let ctx = FileContext {
+            is_crate_root: true,
+            crate_has_doc_gate: true,
+        };
+        let f = lint_file("lib.rs", "//! Docs.\n", &ctx, &Config::default());
+        assert_eq!(codes(&f), vec!["D4/lint-gates", "D4/lint-gates"]);
+        let ok = lint_file(
+            "lib.rs",
+            "//! Docs.\n#![deny(missing_docs)]\n#![forbid(unsafe_code)]\n",
+            &ctx,
+            &Config::default(),
+        );
+        assert!(ok.is_empty());
+    }
+
+    #[test]
+    fn unwrap_flagged_expect_configurable() {
+        let f = run("fn f(o: Option<u8>) -> u8 { o.unwrap() }");
+        assert_eq!(codes(&f), vec!["D4/unwrap-in-lib"]);
+        let e = run("fn f(o: Option<u8>) -> u8 { o.expect(\"set\") }");
+        assert_eq!(codes(&e), vec!["D4/unwrap-in-lib"]);
+        let cfg = Config {
+            allow_expect: true,
+            ..Config::default()
+        };
+        let ok = lint_file(
+            "x.rs",
+            "fn f(o: Option<u8>) -> u8 { o.expect(\"set\") }",
+            &FileContext::default(),
+            &cfg,
+        );
+        assert!(ok.is_empty());
+        // `unwrap_or` must not match the unwrap pattern.
+        assert!(run("fn f(o: Option<u8>) -> u8 { o.unwrap_or(0) }").is_empty());
+    }
+
+    #[test]
+    fn pub_docs_only_without_the_gate() {
+        let src = "/// Documented.\npub fn a() {}\n\npub fn b() {}\npub(crate) fn c() {}";
+        let unguarded = FileContext::default();
+        let f = lint_file("x.rs", src, &unguarded, &Config::default());
+        assert_eq!(codes(&f), vec!["D4/pub-docs"]);
+        assert_eq!(f[0].line, 4);
+        let gated = FileContext {
+            is_crate_root: false,
+            crate_has_doc_gate: true,
+        };
+        assert!(lint_file("x.rs", src, &gated, &Config::default()).is_empty());
+    }
+
+    #[test]
+    fn file_allowlist_suppresses_a_rule() {
+        let mut cfg = Config::default();
+        cfg.allow
+            .insert("hash-collections".into(), vec!["x.rs".into()]);
+        let f = lint_file(
+            "x.rs",
+            "use std::collections::HashMap;",
+            &FileContext::default(),
+            &cfg,
+        );
+        assert!(f.is_empty());
+    }
+}

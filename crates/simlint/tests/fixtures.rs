@@ -1,0 +1,145 @@
+//! Fixture suite: each rule family has a seeded-violation file under
+//! `tests/fixtures/`, and the exact rendered diagnostics are pinned —
+//! message wording is part of the tool's contract (CI logs are read by
+//! humans chasing a red build).
+
+use std::path::Path;
+
+use simdc_simlint::{lint_file, Config, FileContext};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).expect("fixture exists")
+}
+
+/// The workspace policy, inlined so fixture expectations are
+/// self-contained (and so a future edit to the real simlint.toml cannot
+/// silently change what these tests assert).
+fn policy() -> Config {
+    Config::parse(
+        r#"
+[rules.unwrap-in-lib]
+allow_expect = true
+
+[rules.freeze-release]
+receivers = ["rm"]
+callers = ["crates/core/src/scheduler.rs", "crates/core/src/platform.rs"]
+
+[rules.task-state]
+owners = ["crates/core/src/queue.rs"]
+guard = "TaskState"
+"#,
+    )
+    .expect("policy parses")
+}
+
+fn render(name: &str, ctx: &FileContext, cfg: &Config) -> Vec<String> {
+    lint_file(name, &fixture(name), ctx, cfg)
+        .iter()
+        .map(ToString::to_string)
+        .collect()
+}
+
+#[test]
+fn clean_fixture_has_zero_findings() {
+    // Strictest config except allow_expect (the workspace policy); the
+    // clean file must pass even as a crate root.
+    let ctx = FileContext {
+        is_crate_root: true,
+        crate_has_doc_gate: false,
+    };
+    assert_eq!(render("clean.rs", &ctx, &policy()), Vec::<String>::new());
+}
+
+#[test]
+fn d1_unordered_collections() {
+    let ctx = FileContext::default();
+    assert_eq!(
+        render("d1_hash.rs", &ctx, &policy()),
+        vec![
+            "d1_hash.rs:3:24: [D1/hash-collections] `HashMap` iterates in hasher order — use `BTreeMap` or an ordered index so same-seed runs stay byte-identical",
+            "d1_hash.rs:3:33: [D1/hash-collections] `HashSet` iterates in hasher order — use `BTreeSet` or an ordered index so same-seed runs stay byte-identical",
+            "d1_hash.rs:7:13: [D1/hash-collections] `HashMap` iterates in hasher order — use `BTreeMap` or an ordered index so same-seed runs stay byte-identical",
+            "d1_hash.rs:8:14: [D1/hash-collections] `HashSet` iterates in hasher order — use `BTreeSet` or an ordered index so same-seed runs stay byte-identical",
+        ]
+    );
+}
+
+#[test]
+fn d2_wall_clock_and_entropy() {
+    let ctx = FileContext::default();
+    assert_eq!(
+        render("d2_wallclock.rs", &ctx, &policy()),
+        vec![
+            "d2_wallclock.rs:3:16: [D2/wall-clock] wall-clock `Instant` in simulation code — virtual time comes from `SimInstant` and the event loop (measurement harnesses belong under a `[workspace] harness` prefix in simlint.toml)",
+            "d2_wallclock.rs:7:17: [D2/wall-clock] wall-clock `Instant` in simulation code — virtual time comes from `SimInstant` and the event loop (measurement harnesses belong under a `[workspace] harness` prefix in simlint.toml)",
+            "d2_wallclock.rs:8:24: [D2/ambient-entropy] ambient randomness `thread_rng` — seed a deterministic RNG (`simdc_simrt::SimRng`) explicitly so runs replay",
+            "d2_wallclock.rs:9:22: [D2/ambient-entropy] environment-dependent `env::var` — thread configuration through explicit config structs so behavior is a function of inputs",
+        ]
+    );
+}
+
+#[test]
+fn d2_is_waived_under_a_harness_prefix() {
+    let mut cfg = policy();
+    cfg.harness = vec!["bench".into()];
+    let source = fixture("d2_wallclock.rs");
+    let findings = lint_file(
+        "bench/d2_wallclock.rs",
+        &source,
+        &FileContext::default(),
+        &cfg,
+    );
+    assert!(findings.is_empty(), "{findings:?}");
+}
+
+#[test]
+fn d3_lifecycle_discipline() {
+    let ctx = FileContext::default();
+    assert_eq!(
+        render("d3_lifecycle.rs", &ctx, &policy()),
+        vec![
+            "d3_lifecycle.rs:7:12: [D3/task-state] task state assigned directly — route the transition through the `mark_*` APIs (crates/core/src/queue.rs) so terminal states stay terminal",
+            "d3_lifecycle.rs:8:8: [D3/freeze-release] lease `rm.release` outside the plan/commit pairing points (crates/core/src/scheduler.rs, crates/core/src/platform.rs) — freezes happen at admission, releases at the completion event, nowhere else",
+            "d3_lifecycle.rs:13:16: [D3/freeze-release] lease `rm.freeze` outside the plan/commit pairing points (crates/core/src/scheduler.rs, crates/core/src/platform.rs) — freezes happen at admission, releases at the completion event, nowhere else",
+        ]
+    );
+}
+
+#[test]
+fn d4_hygiene() {
+    // As a crate root of a crate without the doc gate, with the strict
+    // (default) expect policy: both gates missing, one unwrap, one
+    // undocumented pub fn, one expect.
+    let ctx = FileContext {
+        is_crate_root: true,
+        crate_has_doc_gate: false,
+    };
+    assert_eq!(
+        render("d4_hygiene.rs", &ctx, &Config::default()),
+        vec![
+            "d4_hygiene.rs:1:1: [D4/lint-gates] crate root lacks `#![deny(missing_docs)]` — every public item must explain itself",
+            "d4_hygiene.rs:1:1: [D4/lint-gates] crate root lacks `#![forbid(unsafe_code)]` — the simulator is safe-Rust only",
+            "d4_hygiene.rs:6:11: [D4/unwrap-in-lib] `unwrap()` in library code — propagate the error or use `expect(\"invariant\")` to document why this cannot fail",
+            "d4_hygiene.rs:9:1: [D4/pub-docs] public `fn` without a doc comment — document it (the crate is not yet under `#![deny(missing_docs)]`)",
+            "d4_hygiene.rs:10:11: [D4/unwrap-in-lib] `expect()` in library code — propagate the error instead (set `allow_expect = true` under [rules.unwrap-in-lib] to accept invariant-documenting expects)",
+        ]
+    );
+}
+
+#[test]
+fn d4_expect_waived_by_policy_and_docs_by_gate() {
+    let ctx = FileContext {
+        is_crate_root: false,
+        crate_has_doc_gate: true,
+    };
+    assert_eq!(
+        render("d4_hygiene.rs", &ctx, &policy()),
+        vec![
+            "d4_hygiene.rs:6:11: [D4/unwrap-in-lib] `unwrap()` in library code — propagate the error or use `expect(\"invariant\")` to document why this cannot fail",
+        ],
+        "with allow_expect and the doc gate, only the bare unwrap remains"
+    );
+}

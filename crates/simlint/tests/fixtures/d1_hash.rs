@@ -1,0 +1,9 @@
+//! D1 fixture: unordered hash collections on a simulation path.
+
+use std::collections::{HashMap, HashSet};
+
+/// Iteration order of either field can leak into schedules.
+pub struct Fleet {
+    phones: HashMap<u64, String>,
+    crashed: HashSet<u64>,
+}

@@ -1,0 +1,12 @@
+//! D2 fixture: wall-clock time and ambient entropy.
+
+use std::time::Instant;
+
+/// Times a round on the host clock instead of virtual time.
+pub fn measure() -> f64 {
+    let start = Instant::now();
+    let jitter = rand::thread_rng();
+    let shard = std::env::var("SIMDC_SHARD");
+    let _ = (jitter, shard);
+    start.elapsed().as_secs_f64()
+}

@@ -1,0 +1,11 @@
+//! D4 fixture: a crate root missing both gates, with panicky and
+//! undocumented public API.
+
+/// Documented, but unwraps.
+pub fn first(input: Option<u64>) -> u64 {
+    input.unwrap()
+}
+
+pub fn second(input: Option<u64>) -> u64 {
+    input.expect("caller checked")
+}

@@ -50,6 +50,9 @@
 //! assert_eq!(summary.completed + summary.failed, summary.submitted);
 //! ```
 
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub mod arrival;
 pub mod fleet;
 pub mod scenario;

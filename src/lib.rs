@@ -65,6 +65,9 @@
 //! # Ok::<(), simdc::types::SimdcError>(())
 //! ```
 
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub use simdc_baselines as baselines;
 pub use simdc_cluster as cluster;
 pub use simdc_core as platform;

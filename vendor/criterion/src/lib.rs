@@ -8,6 +8,10 @@
 //! rough per-iteration numbers offline; swap in the real crate for serious
 //! measurement.
 
+// Wall-clock measurement is this crate's entire purpose; the workspace
+// `Instant::now` ban (clippy.toml / simlint D2) targets simulation code.
+#![allow(clippy::disallowed_methods)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

@@ -9,6 +9,12 @@
 //! test round-trips and experiment-result dumps, and drop-in replaceable
 //! by the real serde once the build environment can fetch it.
 
+// Vendored API surface: the real serde implements Serialize/Deserialize
+// for hash collections, so the stand-in must too. The workspace-wide
+// hash-collection ban (clippy.toml / simlint D1) covers simulation code,
+// not this compatibility shim.
+#![allow(clippy::disallowed_types)]
+
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::hash::Hash;
