@@ -1,9 +1,11 @@
 //! Scale bench: the `mega_fleet` scenario over a 100k–1M-phone fleet,
-//! reporting events/sec and wall-clock throughput (`BENCH_scale.json`).
+//! swept over a worker-thread axis — reporting events/sec, the wall-clock
+//! speedup curve and the host's CPU count (`BENCH_scale.json`), and
+//! asserting the summaries stay byte-identical across thread counts.
 //!
 //! ```sh
 //! cargo run --release -p simdc-bench --bin scale            # 100k phones
-//! cargo run --release -p simdc-bench --bin scale -- --fleet 1000000
+//! cargo run --release -p simdc-bench --bin scale -- --fleet 1000000 --threads 8
 //! cargo run -p simdc-bench --bin scale -- --quick --fleet 500   # debug: parity armed
 //! ```
 

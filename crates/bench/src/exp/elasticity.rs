@@ -117,6 +117,7 @@ mod tests {
             seed: 5,
             out_dir: out_dir.clone(),
             fleet: None,
+            ..ExpOptions::default()
         };
         let result = run(&opts);
         assert_eq!(result.scenarios.len(), 2);

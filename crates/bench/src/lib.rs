@@ -26,6 +26,9 @@ pub struct ExpOptions {
     /// Phone-fleet size override for the scale experiments (`--fleet N`);
     /// experiments without a fleet knob ignore it.
     pub fleet: Option<usize>,
+    /// Largest worker-thread count for the scale experiment's sweep
+    /// (`--threads N`); experiments without a thread axis ignore it.
+    pub threads: Option<usize>,
 }
 
 impl Default for ExpOptions {
@@ -35,13 +38,14 @@ impl Default for ExpOptions {
             quick: false,
             out_dir: PathBuf::from("results"),
             fleet: None,
+            threads: None,
         }
     }
 }
 
 impl ExpOptions {
-    /// Parses `--seed N`, `--quick`, `--out DIR` and `--fleet N` from
-    /// `std::env::args`.
+    /// Parses `--seed N`, `--quick`, `--out DIR`, `--fleet N` and
+    /// `--threads N` from `std::env::args`.
     ///
     /// # Panics
     ///
@@ -65,10 +69,14 @@ impl ExpOptions {
                     let v = args.next().expect("--fleet needs a value");
                     opts.fleet = Some(v.parse().expect("--fleet must be an integer"));
                 }
+                "--threads" => {
+                    let v = args.next().expect("--threads needs a value");
+                    opts.threads = Some(v.parse().expect("--threads must be an integer"));
+                }
                 other => {
                     panic!(
                         "unknown argument '{other}' \
-                         (supported: --seed N, --quick, --out DIR, --fleet N)"
+                         (supported: --seed N, --quick, --out DIR, --fleet N, --threads N)"
                     )
                 }
             }

@@ -18,6 +18,7 @@ fn quick_registry_runs_and_writes_parseable_results() {
         // Keep the registry smoke cheap: the scale experiment runs at a
         // small (but still index-exercising) fleet.
         fleet: Some(1_000),
+        ..ExpOptions::default()
     };
 
     assert!(

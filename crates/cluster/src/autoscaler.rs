@@ -34,7 +34,7 @@
 //!     1.0, // node_hourly_cost
 //!     SimInstant::EPOCH,
 //! );
-//! let ScalingAction::ScaleUp { nodes, ready_at } = action else {
+//! let ScalingAction::ScaleUp { nodes, ready_at, .. } = action else {
 //!     panic!("queue pressure must trigger a scale-up");
 //! };
 //! assert!(nodes >= 2);
@@ -117,12 +117,25 @@ impl AutoscalerConfig {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ScalingAction {
     /// Booted `nodes` new nodes; their capacity becomes placeable at
+    /// `ready_at`. `reclaimed` draining nodes additionally returned to
+    /// ready service *immediately* — their capacity is placeable now, so
+    /// the platform should re-run placement without waiting for
     /// `ready_at`.
     ScaleUp {
         /// Nodes that started booting.
         nodes: usize,
-        /// When they become ready.
+        /// Draining nodes returned to ready service right now.
+        reclaimed: usize,
+        /// When the booting nodes become ready.
         ready_at: SimInstant,
+    },
+    /// Returned `nodes` draining nodes to ready service with no boot
+    /// needed: capacity reappeared *at this instant*. The platform must
+    /// re-run placement immediately — treating this as a hold delays
+    /// admission by a full dispatch tick.
+    Reclaim {
+        /// Draining nodes returned to ready service.
+        nodes: usize,
     },
     /// Began draining `nodes` nodes (idle ones retire at the next
     /// lifecycle advance; busy ones once their allocations release).
@@ -134,11 +147,12 @@ pub enum ScalingAction {
     Hold,
 }
 
-/// Accrues the running cost of the pool: every node-hour — booting,
-/// ready or draining — is billed at the model's hourly rate.
+/// Accrues the running cost of the pool: every node-second — booting,
+/// ready or draining — is billed at the model's hourly rate, pro rata.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CostMeter {
     accrued: f64,
+    node_seconds: f64,
     last_at: SimInstant,
 }
 
@@ -148,6 +162,7 @@ impl CostMeter {
     pub fn new(start: SimInstant) -> Self {
         CostMeter {
             accrued: 0.0,
+            node_seconds: 0.0,
             last_at: start,
         }
     }
@@ -159,15 +174,38 @@ impl CostMeter {
         if now <= self.last_at {
             return;
         }
-        let hours = now.duration_since(self.last_at).as_secs_f64() / 3_600.0;
-        self.accrued += nodes as f64 * hourly_rate * hours;
+        let secs = now.duration_since(self.last_at).as_secs_f64();
+        self.node_seconds += nodes as f64 * secs;
+        self.accrued += nodes as f64 * hourly_rate * (secs / 3_600.0);
         self.last_at = now;
+    }
+
+    /// Flushes the final partial interval — bills `nodes` up to `now` and
+    /// returns the total spend. Call at scenario end (and on retire
+    /// boundaries) so a run ending mid-hour still bills its tail:
+    /// afterwards `accrued() == node_seconds() × hourly_rate / 3600`
+    /// within float rounding, which `budget_capped` asserts.
+    pub fn finalize(&mut self, nodes: usize, hourly_rate: f64, now: SimInstant) -> f64 {
+        self.accrue(nodes, hourly_rate, now);
+        self.accrued
     }
 
     /// Total spend so far.
     #[must_use]
     pub fn accrued(&self) -> f64 {
         self.accrued
+    }
+
+    /// Total billed node-seconds so far (the quantity `accrued()` prices).
+    #[must_use]
+    pub fn node_seconds(&self) -> f64 {
+        self.node_seconds
+    }
+
+    /// The accrual cursor: the instant billing is complete up to.
+    #[must_use]
+    pub fn billed_to(&self) -> SimInstant {
+        self.last_at
     }
 }
 
@@ -251,26 +289,44 @@ impl Autoscaler {
                 // Provision toward the target utilization, not 100%.
                 let target_per_node = ((per_node as f64) * self.config.target_utilization).max(1.0);
                 let mut need = (deficit as f64 / target_per_node).ceil() as usize;
-                need -= pool.cancel_drain(need);
+                let reclaimed = pool.cancel_drain(need);
+                need -= reclaimed;
                 let headroom = cap.saturating_sub(pool.len());
                 let booted = pool.scale_up(need.min(headroom), now + boot_latency);
                 if booted > 0 {
                     return ScalingAction::ScaleUp {
                         nodes: booted,
+                        reclaimed,
                         ready_at: now + boot_latency,
                     };
                 }
-            } else if pool.booting_count() == 0 {
-                // Units fit in aggregate (demand <= prospective, and with
-                // nothing booting, prospective is exactly the placeable
-                // free units) yet placement is still blocked: the demand
-                // is fragmented across nodes. One extra node breaks the
-                // deadlock (bounded by the same caps).
-                if pool.len() < cap && pool.cancel_drain(1) == 0 {
+                if reclaimed > 0 {
+                    // The whole deficit was covered by reclaiming draining
+                    // nodes: that capacity is placeable *now*, and the
+                    // caller must re-run placement on it. (Previously this
+                    // fell through to `Hold` and admission stalled for a
+                    // dispatch tick.)
+                    return ScalingAction::Reclaim { nodes: reclaimed };
+                }
+            } else if demand_units > (pool.booting_count() as u64).saturating_mul(per_node) {
+                // Units fit in aggregate (demand <= prospective) yet
+                // placement is still blocked: the demand is fragmented
+                // across nodes. One extra node breaks the deadlock —
+                // reclaiming a draining node if one exists, else booting
+                // (bounded by the same caps). The guard fires whenever the
+                // in-flight boots alone cannot cover the blocked demand;
+                // gating on `booting_count() == 0` instead would stall
+                // fragmented demand for a full boot latency even though
+                // the nodes coming up can never satisfy it.
+                if pool.cancel_drain(1) == 1 {
+                    return ScalingAction::Reclaim { nodes: 1 };
+                }
+                if pool.len() < cap {
                     let booted = pool.scale_up(1, now + boot_latency);
                     if booted > 0 {
                         return ScalingAction::ScaleUp {
                             nodes: booted,
+                            reclaimed: 0,
                             ready_at: now + boot_latency,
                         };
                     }
@@ -352,9 +408,15 @@ mod tests {
         let mut pool = pool();
         let mut scaler = Autoscaler::new(AutoscalerConfig::default()).with_min_nodes(2);
         let action = scaler.assess(&mut pool, &unit(), 20, BOOT, 1.0, t(0));
-        let ScalingAction::ScaleUp { nodes, ready_at } = action else {
+        let ScalingAction::ScaleUp {
+            nodes,
+            reclaimed,
+            ready_at,
+        } = action
+        else {
             panic!("expected scale-up, got {action:?}");
         };
+        assert_eq!(reclaimed, 0, "nothing was draining");
         assert!(nodes >= 4, "20 units over 8 free at 0.7 target: {nodes}");
         assert_eq!(ready_at, SimInstant::EPOCH + BOOT);
         assert_eq!(pool.placeable(&unit()), 8, "boot latency not charged");
@@ -381,6 +443,7 @@ mod tests {
             action,
             ScalingAction::ScaleUp {
                 nodes: 1,
+                reclaimed: 0,
                 ready_at: SimInstant::EPOCH + BOOT
             }
         );
@@ -440,16 +503,82 @@ mod tests {
         let mut scaler = Autoscaler::new(AutoscalerConfig::default()).with_min_nodes(2);
         let action = scaler.assess(&mut pool, &unit(), 12, BOOT, 1.0, t(10));
         // 12 units over 8 free: 2 more nodes at 0.7 target; both come from
-        // the draining set, no boot needed.
+        // the draining set, no boot needed — and the caller is *told* so,
+        // rather than getting a `Hold` that hides the reappeared capacity.
         assert_eq!(pool.draining_count(), 0);
-        match action {
-            ScalingAction::Hold => {} // fully served by reclaimed nodes
-            ScalingAction::ScaleUp { nodes, .. } => {
-                assert!(nodes <= 1, "reclaim must come first: {action:?}");
-            }
-            ScalingAction::ScaleIn { .. } => panic!("demand cannot scale in"),
-        }
-        assert!(pool.placeable(&unit()) >= 12 || pool.booting_count() > 0);
+        assert_eq!(action, ScalingAction::Reclaim { nodes: 2 });
+        assert_eq!(pool.booting_count(), 0, "reclaim needs no boot");
+        assert!(pool.placeable(&unit()) >= 12);
+    }
+
+    #[test]
+    fn partial_reclaim_is_reported_alongside_the_boot() {
+        let mut pool = pool();
+        pool.scale_up(1, t(0));
+        pool.advance_to(t(0));
+        pool.drain(1);
+        assert_eq!(pool.draining_count(), 1);
+        let mut scaler = Autoscaler::new(AutoscalerConfig::default()).with_min_nodes(2);
+        // 30 units over 8 free: the one draining node is reclaimed *and*
+        // fresh nodes boot; both facts surface in the action.
+        let action = scaler.assess(&mut pool, &unit(), 30, BOOT, 1.0, t(10));
+        let ScalingAction::ScaleUp {
+            nodes, reclaimed, ..
+        } = action
+        else {
+            panic!("expected scale-up, got {action:?}");
+        };
+        assert_eq!(reclaimed, 1);
+        assert!(nodes >= 1);
+        assert_eq!(pool.draining_count(), 0);
+    }
+
+    #[test]
+    fn fragmentation_breaker_fires_while_boots_cannot_cover_demand() {
+        // Two ready 4-unit nodes with 3 units placed each (1 free unit
+        // apiece) and one node already booting. A fragmented 5-unit
+        // request fits the prospective aggregate (2 free + 4 booting = 6)
+        // but the in-flight boot alone (4 units) cannot cover it — the
+        // breaker must fire *now*, not after the 45 s boot latency.
+        let mut pool = pool();
+        pool.place(&ResourceBundle::cores_gib(3, 3)).unwrap();
+        pool.place(&ResourceBundle::cores_gib(3, 3)).unwrap();
+        pool.scale_up(1, t(0) + BOOT);
+        assert_eq!(pool.booting_count(), 1);
+        let mut scaler = Autoscaler::new(AutoscalerConfig::default()).with_min_nodes(2);
+        let action = scaler.assess(&mut pool, &unit(), 5, BOOT, 1.0, t(0));
+        assert_eq!(
+            action,
+            ScalingAction::ScaleUp {
+                nodes: 1,
+                reclaimed: 0,
+                ready_at: t(0) + BOOT
+            },
+            "blocked fragmented demand beyond the in-flight boots must break out"
+        );
+        // Demand the booting node *can* absorb keeps holding: no thrash.
+        assert_eq!(
+            scaler.assess(&mut pool, &unit(), 3, BOOT, 1.0, t(1)),
+            ScalingAction::Hold
+        );
+    }
+
+    #[test]
+    fn fragmentation_breaker_prefers_reclaiming_a_draining_node() {
+        let mut pool = pool();
+        pool.scale_up(1, t(0));
+        pool.advance_to(t(0));
+        pool.drain(1);
+        // Fill both remaining ready nodes to 1 free unit each.
+        pool.place(&ResourceBundle::cores_gib(3, 3)).unwrap();
+        pool.place(&ResourceBundle::cores_gib(3, 3)).unwrap();
+        let mut scaler = Autoscaler::new(AutoscalerConfig::default()).with_min_nodes(2);
+        // 2 units, 2 free in aggregate, but fragmented 1+1: reclaim the
+        // draining node instead of booting a fresh one.
+        let action = scaler.assess(&mut pool, &unit(), 2, BOOT, 1.0, t(10));
+        assert_eq!(action, ScalingAction::Reclaim { nodes: 1 });
+        assert_eq!(pool.draining_count(), 0);
+        assert_eq!(pool.booting_count(), 0);
     }
 
     #[test]
@@ -457,10 +586,26 @@ mod tests {
         let mut meter = CostMeter::new(SimInstant::EPOCH);
         meter.accrue(4, 2.0, t(1_800)); // 4 nodes × 0.5 h × 2.0/h
         assert!((meter.accrued() - 4.0).abs() < 1e-9);
+        assert!((meter.node_seconds() - 4.0 * 1_800.0).abs() < 1e-9);
         // Time never rolls back.
         meter.accrue(100, 2.0, t(900));
         assert!((meter.accrued() - 4.0).abs() < 1e-9);
         meter.accrue(1, 2.0, t(3_600)); // +1 node × 0.5 h × 2.0/h
         assert!((meter.accrued() - 5.0).abs() < 1e-9);
+        assert_eq!(meter.billed_to(), t(3_600));
+    }
+
+    #[test]
+    fn finalize_bills_the_final_partial_interval() {
+        let mut meter = CostMeter::new(SimInstant::EPOCH);
+        meter.accrue(2, 1.0, t(3_600));
+        // A run ending 17 s into the next hour still bills that tail.
+        let total = meter.finalize(2, 1.0, t(3_617));
+        assert!((total - (2.0 + 2.0 * 17.0 / 3_600.0)).abs() < 1e-9);
+        assert!((meter.node_seconds() - (2.0 * 3_617.0)).abs() < 1e-9);
+        // Spend equals node-seconds × rate within float rounding.
+        assert!((meter.accrued() - meter.node_seconds() * 1.0 / 3_600.0).abs() < 1e-9);
+        // A second finalize at the same instant is a no-op.
+        assert!((meter.finalize(2, 1.0, t(3_617)) - total).abs() < 1e-12);
     }
 }

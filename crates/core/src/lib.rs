@@ -19,6 +19,10 @@
 //!   Execution is split into a *plan* phase (compute the per-round
 //!   timeline, reserve benchmark phones) and a *commit* phase (take the
 //!   measurements), so the platform can schedule completions as events.
+//! * [`shard`] / [`dispatch`] — sharded parallel execution: fleet
+//!   construction fanned out over a fixed worker pool, and batched
+//!   plan-phase computation whose deterministic admission-order merge
+//!   keeps `--threads N` byte-identical to `--threads 1`.
 //! * [`platform`] — the façade tying everything together on the
 //!   [`simdc_simrt`] discrete-event queue: completions are events,
 //!   resources release at each task's actual completion instant, and the
@@ -58,11 +62,13 @@
 
 pub mod alloc;
 pub mod cloud;
+pub mod dispatch;
 pub mod platform;
 pub mod queue;
 pub mod resources;
 pub mod runner;
 pub mod scheduler;
+pub mod shard;
 pub mod spec;
 
 pub use alloc::{optimize, Allocation, GradeAllocParams, GradeAllocation};

@@ -51,6 +51,14 @@ pub struct PlatformConfig {
     pub runner: RunnerConfig,
     /// Platform seed (forked per phone/task).
     pub seed: u64,
+    /// Worker threads for sharded execution: fleet construction and
+    /// plan-phase computation fan out over a fixed pool of this size.
+    /// `0` and `1` both mean fully sequential (the classic code path).
+    /// Results are byte-identical for every value — threads only change
+    /// wall-clock time — so the knob is excluded from serialized configs
+    /// and golden fixtures.
+    #[serde(skip)]
+    pub threads: usize,
 }
 
 impl Default for PlatformConfig {
@@ -61,6 +69,7 @@ impl Default for PlatformConfig {
             poll_interval: SimDuration::from_secs(1),
             runner: RunnerConfig::default(),
             seed: 0x51AD_C0DE,
+            threads: 0,
         }
     }
 }
@@ -149,6 +158,9 @@ pub struct Platform {
     completion_events: u64,
     /// Node-ready (elastic scale-up) events processed so far.
     cluster_events: u64,
+    /// Fixed worker pool for sharded execution; a 1-thread pool keeps
+    /// every code path sequential.
+    pool: minipool::FixedPool,
     clock: SimInstant,
 }
 
@@ -170,8 +182,10 @@ impl Platform {
     /// recoverable error).
     #[must_use]
     pub fn new(config: PlatformConfig) -> Self {
+        let pool = minipool::FixedPool::new(config.threads.max(1));
         let cluster = LogicalCluster::new(config.cluster.clone());
-        let phones = PhoneMgr::with_fleet(config.fleet, config.poll_interval, config.seed);
+        let phones =
+            crate::shard::build_fleet(&pool, config.fleet, config.poll_interval, config.seed);
         let total_bundles = cluster.free_unit_bundles();
         let total_phones = PerGrade::from_fn(|g| phones.count(g, None) as u64);
         Platform {
@@ -189,6 +203,7 @@ impl Platform {
             events: EventQueue::new(),
             completion_events: 0,
             cluster_events: 0,
+            pool,
             clock: SimInstant::EPOCH,
         }
     }
@@ -314,6 +329,19 @@ impl Platform {
                     reqs.get(&spec.id).is_none_or(|r| cluster.can_place_all(r))
                 })
         };
+        let admitted = if self.pool.threads() > 1 && started.len() >= 2 {
+            self.admit_batch(started)
+        } else {
+            self.admit_sequential(started)
+        };
+        self.autoscale_for_pending();
+        admitted
+    }
+
+    /// Sequential admission: each started task runs its full plan before
+    /// the next task's placement re-trial. This is the reference ordering
+    /// the batch path reproduces.
+    fn admit_sequential(&mut self, started: Vec<TaskId>) -> usize {
         let mut admitted = 0;
         for id in started {
             // Re-run the placement trial against the *current* pool: a
@@ -365,7 +393,101 @@ impl Platform {
                 }
             }
         }
-        self.autoscale_for_pending();
+        admitted
+    }
+
+    /// Batched admission: the serial prepare step runs per task in
+    /// admission order (placement re-trial, `mark_running`, device
+    /// binding with the reserved-phone overlay, group acquisition,
+    /// actor-id reservation), the expensive plan-phase computation fans
+    /// out over the worker pool, and results merge back in admission
+    /// order — completion events are pushed in the same order the
+    /// sequential path would push them, so `(time, seq)` pairs match.
+    ///
+    /// One documented divergence: a task whose plan fails *in the worker*
+    /// releases its placement groups at merge, after every placement
+    /// re-trial has already run, whereas the sequential path releases
+    /// them before later tasks' trials. A later task whose placement only
+    /// fits in the failed task's absence therefore waits for the next
+    /// scheduling pass instead of admitting in this one. Plan failures
+    /// after group acquisition cannot occur in the shipped scenarios, so
+    /// threaded parity holds end-to-end there.
+    fn admit_batch(&mut self, started: Vec<TaskId>) -> usize {
+        let mut reserved: std::collections::BTreeSet<simdc_types::PhoneId> =
+            std::collections::BTreeSet::new();
+        let mut prepared: Vec<(TaskId, crate::dispatch::Prepared)> =
+            Vec::with_capacity(started.len());
+        let mut admitted = 0;
+        for id in started {
+            // Same re-trial as the sequential path: prepare acquires each
+            // admitted task's groups immediately, so the pool this trial
+            // sees matches what sequential admission would have seen.
+            let still_places = self
+                .placement_reqs
+                .get(&id)
+                .is_none_or(|r| self.cluster.can_place_all(r));
+            if !still_places {
+                self.rm.release(id);
+                continue;
+            }
+            let start = self.clock;
+            if self.queue.mark_running(id, start).is_err() {
+                self.rm.release(id);
+                continue;
+            }
+            let spec = self.queue.get(id).expect("just marked").spec.clone();
+            let dataset = self
+                .datasets
+                .get(&id)
+                .expect("dataset registered at submit")
+                .clone();
+            let req = crate::dispatch::PlanRequest {
+                spec,
+                dataset,
+                start,
+            };
+            match crate::dispatch::prepare(
+                &self.runner,
+                req,
+                &mut self.cluster,
+                &self.phones,
+                &reserved,
+            ) {
+                Ok(p) => {
+                    reserved.extend(p.reserved_phones());
+                    prepared.push((id, p));
+                }
+                Err(err) => {
+                    self.rm.release(id);
+                    self.placement_reqs.remove(&id);
+                    let _ = self.queue.mark_failed(id, err.to_string());
+                }
+            }
+        }
+        let outcomes = crate::dispatch::compute_and_merge(
+            &self.runner,
+            prepared,
+            &mut self.cluster,
+            &mut self.phones,
+            &mut self.storage,
+            &self.pool,
+        );
+        for (id, result) in outcomes {
+            match result {
+                Ok(plan) => {
+                    self.events
+                        .push(plan.finished_at(), PlatformEvent::Completion(id));
+                    self.plans.insert(id, plan);
+                    self.placement_reqs.remove(&id);
+                    admitted += 1;
+                }
+                Err(err) => {
+                    self.rm.release(id);
+                    self.placement_reqs.remove(&id);
+                    let _ = self.queue.mark_failed(id, err.to_string());
+                }
+            }
+        }
         admitted
     }
 
@@ -390,8 +512,25 @@ impl Platform {
             }
         }
         match self.cluster.autoscale(demand_units, self.clock) {
-            simdc_cluster::ScalingAction::ScaleUp { ready_at, .. } => {
+            simdc_cluster::ScalingAction::ScaleUp {
+                ready_at,
+                reclaimed,
+                ..
+            } => {
                 self.events.push(ready_at, PlatformEvent::NodeReady);
+                if reclaimed > 0 {
+                    // Reclaimed drains are ready *now*, not at `ready_at`:
+                    // wake the scheduler at the current instant too.
+                    self.wake_on_reclaim();
+                }
+            }
+            simdc_cluster::ScalingAction::Reclaim { .. } => {
+                // Draining nodes returned to ready service with no boot —
+                // capacity reappeared at this very instant. Without the
+                // immediate node-ready event the blocked tasks would sit
+                // until the next unrelated completion/arrival tick (the
+                // drain-then-burst admission delay this fixes).
+                self.wake_on_reclaim();
             }
             simdc_cluster::ScalingAction::ScaleIn { .. } => {
                 // Draining shrinks the ready capacity at this very
@@ -401,6 +540,16 @@ impl Platform {
             }
             simdc_cluster::ScalingAction::Hold => {}
         }
+    }
+
+    /// Reacts to reclaimed draining nodes: resyncs the cluster totals
+    /// (ready capacity grew at this instant) and schedules a node-ready
+    /// event *at the current clock* so the event loop re-runs placement
+    /// immediately. Bounded: each reclaim consumes a draining node, so
+    /// the wake-ups cannot recur without fresh drains.
+    fn wake_on_reclaim(&mut self) {
+        self.sync_cluster_totals();
+        self.events.push(self.clock, PlatformEvent::NodeReady);
     }
 
     /// Handles one completion event: commits the plan (taking the
@@ -710,6 +859,14 @@ impl Platform {
         &self.cluster
     }
 
+    /// Flushes the cluster's cost meter to the current clock and returns
+    /// the total spend. The scenario-end billing point: a run ending
+    /// mid-hour still pays for its final partial node-hour, so reported
+    /// cost always equals billed node-seconds × the hourly rate.
+    pub fn finalize_cost(&mut self) -> f64 {
+        self.cluster.finalize_cost(self.clock)
+    }
+
     /// Shared storage.
     #[must_use]
     pub fn storage(&self) -> &Storage {
@@ -786,6 +943,45 @@ mod tests {
         }
     }
 
+    /// The tentpole determinism guarantee, at platform granularity: a
+    /// threaded run — parallel fleet build plus batched plan-phase
+    /// dispatch — is byte-identical to the sequential run. Three tasks
+    /// submitted before the first scheduling pass admit together, so the
+    /// batch path (prepare / compute / merge) actually executes.
+    #[test]
+    fn threaded_run_is_byte_identical_to_sequential() {
+        let run = |threads: usize| {
+            let mut platform = Platform::new(PlatformConfig {
+                threads,
+                ..PlatformConfig::default()
+            });
+            let data = dataset();
+            platform.submit(small_spec(1, 1), data.clone()).unwrap();
+            platform.submit(small_spec(2, 9), data.clone()).unwrap();
+            platform.submit(small_spec(3, 5), data).unwrap();
+            let completed = platform.run_until_idle();
+            assert_eq!(completed, 3);
+            let reports: Vec<String> = [1u64, 2, 3]
+                .iter()
+                .map(|&id| format!("{:?}", platform.report(TaskId(id)).unwrap()))
+                .collect();
+            let states: Vec<String> = [1u64, 2, 3]
+                .iter()
+                .map(|&id| format!("{:?}", platform.task_state(TaskId(id)).unwrap()))
+                .collect();
+            (
+                reports,
+                states,
+                format!("{:?}", platform.status()),
+                platform.storage().bytes_written(),
+            )
+        };
+        let sequential = run(1);
+        for threads in [2, 8] {
+            assert_eq!(run(threads), sequential, "threads={threads} diverged");
+        }
+    }
+
     #[test]
     fn infeasible_task_rejected_at_submit() {
         let mut platform = Platform::paper_default();
@@ -846,6 +1042,107 @@ mod tests {
             }
         }
         assert!(platform.status().now >= t(20));
+    }
+
+    /// Tie-discipline property: a workload with simultaneous arrivals
+    /// (priority decides the tie, not source order) admits identically
+    /// whichever driver paces the platform — [`Platform::run_from_source`]
+    /// or a manual loop over [`Platform::run_until`] /
+    /// [`Platform::advance_clock_to`] / [`Platform::admit_now`] — and
+    /// whether the platform runs sequentially or threaded. The workload
+    /// oversubscribes capacity so late admissions land on completion
+    /// instants, exercising completion-vs-pending ordering too.
+    #[test]
+    fn tied_arrivals_admit_identically_across_drivers_and_threads() {
+        let t = |secs: u64| SimInstant::EPOCH + SimDuration::from_secs(secs);
+        // Three waves; within each wave every task shares an arrival
+        // instant and priorities are deliberately out of source order.
+        let workload = || -> Vec<(SimInstant, TaskSpec, Arc<CtrDataset>)> {
+            let data = dataset();
+            let mut items = Vec::new();
+            for (i, (secs, prio)) in [
+                (10u64, 2u32),
+                (10, 7),
+                (10, 5),
+                (10, 9),
+                (40, 1),
+                (40, 8),
+                (40, 8),
+                (70, 3),
+                (70, 6),
+            ]
+            .iter()
+            .enumerate()
+            {
+                items.push((t(*secs), small_spec(i as u64 + 1, *prio), data.clone()));
+            }
+            items
+        };
+        let fingerprint = |platform: &Platform, n: u64| -> Vec<String> {
+            (1..=n)
+                .map(|id| format!("{:?}", platform.task_state(TaskId(id)).unwrap()))
+                .collect()
+        };
+        let platform_with = |threads: usize| {
+            Platform::new(PlatformConfig {
+                threads,
+                ..PlatformConfig::default()
+            })
+        };
+
+        struct Timed {
+            items: std::vec::IntoIter<(SimInstant, TaskSpec, Arc<CtrDataset>)>,
+        }
+        impl SubmissionSource for Timed {
+            fn next_submission(&mut self) -> Option<(SimInstant, TaskSpec, Arc<CtrDataset>)> {
+                self.items.next()
+            }
+        }
+
+        let via_source = |threads: usize| {
+            let mut platform = platform_with(threads);
+            let mut source = Timed {
+                items: workload().into_iter(),
+            };
+            let stats = platform.run_from_source(&mut source);
+            assert_eq!(stats.completed, 9);
+            // Priority decides the wave-one tie, not source order: task 4
+            // (priority 9) starts no later than its wave-mates 1..=3.
+            let started = |id: u64| match platform.task_state(TaskId(id)) {
+                Some(TaskState::Completed { started_at, .. }) => *started_at,
+                other => panic!("task {id} not completed: {other:?}"),
+            };
+            for id in [1u64, 2, 3] {
+                assert!(
+                    started(4) <= started(id),
+                    "priority lost the tie to task {id}"
+                );
+            }
+            fingerprint(&platform, 9)
+        };
+        let via_manual = |threads: usize| {
+            let mut platform = platform_with(threads);
+            // Group the workload by arrival instant; run the platform up
+            // to each instant, submit the whole wave, admit in one pass.
+            let mut items = workload().into_iter().peekable();
+            while let Some((at, spec, data)) = items.next() {
+                platform.run_until(at);
+                platform.advance_clock_to(at);
+                platform.submit(spec, data).unwrap();
+                while items.peek().is_some_and(|(at2, _, _)| *at2 == at) {
+                    let (_, spec2, data2) = items.next().unwrap();
+                    platform.submit(spec2, data2).unwrap();
+                }
+                platform.admit_now();
+            }
+            assert_eq!(platform.run_until_idle(), 9);
+            fingerprint(&platform, 9)
+        };
+
+        let reference = via_source(1);
+        assert_eq!(via_manual(1), reference, "manual driver diverged");
+        assert_eq!(via_source(4), reference, "threaded source run diverged");
+        assert_eq!(via_manual(4), reference, "threaded manual run diverged");
     }
 
     #[test]
@@ -1020,6 +1317,92 @@ mod tests {
                 platform.task_state(TaskId(id))
             );
         }
+    }
+
+    /// Drain-then-burst regression: when queued demand is satisfied by
+    /// *reclaiming* draining nodes (no boot), the platform must re-run
+    /// placement at the reclaim instant. Before the `Reclaim` action
+    /// existed, `assess` silently returned the nodes to service and
+    /// reported `Hold`, so the burst sat pending until the next unrelated
+    /// event — here the long tasks' completions, hundreds of virtual
+    /// seconds later.
+    #[test]
+    fn reclaimed_drain_readmits_at_the_reclaim_instant() {
+        use simdc_cluster::ClusterConfig;
+        let spec = |id: u64, bundles: u64, k: u64, devices: u64, rounds: u32| {
+            TaskSpec::builder(TaskId(id))
+                .rounds(rounds)
+                .grade(GradeRequirement {
+                    grade: DeviceGrade::High,
+                    total_devices: devices,
+                    benchmark_phones: 0,
+                    logical_unit_bundles: bundles,
+                    units_per_device: k,
+                    phones: 0,
+                })
+                .trigger(AggregationTrigger::DeviceThreshold {
+                    min_devices: devices,
+                })
+                .seed(id)
+                .build()
+                .unwrap()
+        };
+        // Small 8-unit nodes so per-task actors land on distinct nodes
+        // and a busy node can end up in the draining set.
+        let mut platform = Platform::new(PlatformConfig {
+            cluster: ClusterConfig {
+                node_template: ResourceBundle::cores_gib(8, 8),
+                initial_nodes: 1,
+                max_nodes: 10,
+                ..ClusterConfig::default()
+            },
+            ..PlatformConfig::default()
+        });
+        let t = |secs: u64| SimInstant::EPOCH + SimDuration::from_secs(secs);
+        // Short 7-unit task fills the initial node; the pending rest
+        // boots two more. After the boots: a long 2-unit task and a short
+        // 5-unit task pack one node, the other long 2-unit task takes the
+        // next. Once both short tasks finish, utilization drops below the
+        // scale-in threshold and the autoscaler drains two nodes — one
+        // idle (retires) and, by newest-first order, one still *busy*
+        // with a long task (survives as draining).
+        platform.submit(spec(1, 7, 7, 1, 3), dataset()).unwrap();
+        platform.submit(spec(2, 2, 2, 1, 60), dataset()).unwrap();
+        platform.submit(spec(3, 5, 5, 1, 3), dataset()).unwrap();
+        platform.submit(spec(4, 2, 2, 1, 60), dataset()).unwrap();
+        let done = |p: &Platform, id: u64| {
+            matches!(p.task_state(TaskId(id)), Some(TaskState::Completed { .. }))
+        };
+        let mut probe = 0u64;
+        while !(done(&platform, 1) && done(&platform, 3)) {
+            probe += 25;
+            assert!(probe < 1_000, "short tasks must finish well before 1000s");
+            platform.run_until(t(probe));
+        }
+        let stats = platform.cluster().stats();
+        assert!(
+            stats.draining >= 1,
+            "scale-in must leave a busy draining node: {stats:?}"
+        );
+        // Burst: two 4-unit actors need two ready nodes; only one is
+        // ready, the other must come back from the draining set.
+        let burst_at = platform.status().now + SimDuration::from_secs(10);
+        platform.advance_clock_to(burst_at);
+        platform.submit(spec(5, 8, 4, 2, 1), dataset()).unwrap();
+        platform.run_until_idle();
+        let Some(TaskState::Completed { started_at, .. }) = platform.task_state(TaskId(5)) else {
+            panic!(
+                "burst task must complete: {:?}",
+                platform.task_state(TaskId(5))
+            );
+        };
+        assert_eq!(
+            *started_at, burst_at,
+            "reclaimed capacity must admit the burst immediately, not at \
+             the next unrelated completion event"
+        );
+        let stats = platform.cluster().stats();
+        assert_eq!(stats.draining, 0, "the draining node was reclaimed");
     }
 
     #[test]

@@ -138,6 +138,20 @@ pub struct TaskPlan {
 }
 
 impl TaskPlan {
+    /// Assembles a plan from its parts — the batch dispatcher's merge
+    /// step builds plans this way after workers compute the timelines.
+    pub(crate) fn assemble(
+        report: TaskReport,
+        benchmark_phones: Vec<PhoneId>,
+        groups: Vec<PlacementGroupId>,
+    ) -> Self {
+        TaskPlan {
+            report,
+            benchmark_phones,
+            groups,
+        }
+    }
+
     /// The planned task.
     #[must_use]
     pub fn task(&self) -> TaskId {
@@ -170,10 +184,67 @@ impl Default for TaskRunner {
     }
 }
 
-struct GradePlacement {
-    logical_devices: Vec<DeviceId>,
-    phone_devices: Vec<DeviceId>,
-    benchmark_devices: Vec<(DeviceId, PhoneId)>,
+pub(crate) struct GradePlacement {
+    pub(crate) logical_devices: Vec<DeviceId>,
+    pub(crate) phone_devices: Vec<DeviceId>,
+    pub(crate) benchmark_devices: Vec<(DeviceId, PhoneId)>,
+}
+
+/// What [`TaskRunner::plan_timeline`] needs from the world: grade
+/// profiles, cloud round planning and benchmark-run submission. Two
+/// implementations exist — the live substrates (`LiveSubstrate`, used by
+/// the sequential path) and the snapshot substrate built by
+/// [`crate::dispatch`] for plan-phase work running on worker threads.
+/// Both feed the *same* `plan_timeline` body, so the sequential and
+/// threaded paths cannot drift.
+pub(crate) trait PlanSubstrate {
+    /// Fleet-averaged behaviour profile of a grade.
+    fn effective_profile(&self, grade: simdc_types::DeviceGrade) -> PhoneProfile;
+    /// The profile a concrete benchmark phone is measured at (nominal
+    /// grade profile when the phone is unknown).
+    fn benchmark_profile(&self, grade: simdc_types::DeviceGrade, phone: PhoneId) -> PhoneProfile;
+    /// Plans one cloud round over an acquired placement group.
+    fn plan_round(
+        &mut self,
+        pg: PlacementGroupId,
+        job: &JobSpec,
+        rng: &mut RngStream,
+    ) -> Result<simdc_cluster::JobPlan>;
+    /// Reserves a benchmark phone by assigning its run plan (live) or
+    /// deferring the assignment to the merge step (snapshot).
+    fn submit_run(&mut self, phone: PhoneId, plan: simdc_phone::RunPlan) -> Result<()>;
+}
+
+/// The sequential substrate: borrows the platform's live cluster and
+/// fleet, so `plan_timeline` mutates them directly.
+pub(crate) struct LiveSubstrate<'a> {
+    pub(crate) cluster: &'a mut LogicalCluster,
+    pub(crate) phones: &'a mut PhoneMgr,
+}
+
+impl PlanSubstrate for LiveSubstrate<'_> {
+    fn effective_profile(&self, grade: simdc_types::DeviceGrade) -> PhoneProfile {
+        self.phones.effective_profile(grade)
+    }
+
+    fn benchmark_profile(&self, grade: simdc_types::DeviceGrade, phone: PhoneId) -> PhoneProfile {
+        self.phones
+            .phone(phone)
+            .map_or_else(|| PhoneProfile::for_grade(grade), |p| p.profile().clone())
+    }
+
+    fn plan_round(
+        &mut self,
+        pg: PlacementGroupId,
+        job: &JobSpec,
+        rng: &mut RngStream,
+    ) -> Result<simdc_cluster::JobPlan> {
+        self.cluster.plan_round_on_group(pg, job, rng)
+    }
+
+    fn submit_run(&mut self, phone: PhoneId, plan: simdc_phone::RunPlan) -> Result<()> {
+        self.phones.submit_run(phone, plan)
+    }
 }
 
 impl TaskRunner {
@@ -329,44 +400,13 @@ impl TaskRunner {
         let mut rng = RngStream::named(spec.seed, &format!("task/{}", spec.id.0));
 
         // --- Device placement -------------------------------------------
-        let mut placements: Vec<GradePlacement> = Vec::with_capacity(spec.grades.len());
-        let mut next_device: u64 = 0;
-        for (g, alloc) in spec.grades.iter().zip(&allocation.grades) {
-            let mut take = |n: u64| -> Vec<DeviceId> {
-                let ids = (next_device..next_device + n).map(DeviceId).collect();
-                next_device += n;
-                ids
-            };
-            let logical_devices = take(alloc.logical_devices);
-            let phone_devices = take(alloc.phone_devices);
-            let benchmark_ids = take(alloc.benchmark_devices);
-            let benchmark_phones = if alloc.benchmark_devices > 0 {
-                phones.select(g.grade, alloc.benchmark_devices as usize, start)?
-            } else {
-                Vec::new()
-            };
-            placements.push(GradePlacement {
-                logical_devices,
-                phone_devices,
-                benchmark_devices: benchmark_ids.into_iter().zip(benchmark_phones).collect(),
-            });
-        }
+        let placements = Self::place_devices(spec, &allocation, |grade, count| {
+            phones.select(grade, count, start)
+        })?;
 
-        // A grade whose phone fleet has drained to zero (churn, retirement,
-        // or a fleet that never had it) offers no behaviour profile to
-        // average. A task placing devices on that grade's phone cluster
-        // must surface resource exhaustion instead of silently planning
-        // with the static paper profile of phones that do not exist.
-        for (g, placement) in spec.grades.iter().zip(&placements) {
-            let needs_phones =
-                !placement.phone_devices.is_empty() || !placement.benchmark_devices.is_empty();
-            if needs_phones && phones.try_effective_profile(g.grade).is_none() {
-                return Err(SimdcError::ResourceExhausted {
-                    requested: format!("{} phone-cluster devices for task {}", g.grade, spec.id),
-                    available: format!("0 {} phones registered", g.grade),
-                });
-            }
-        }
+        Self::check_phone_grades(spec, &placements, |grade| {
+            phones.try_effective_profile(grade).is_some()
+        })?;
 
         // --- Placement-group acquisition --------------------------------
         // One group per grade with logical devices, acquired at admission
@@ -376,32 +416,14 @@ impl TaskRunner {
         // tasks. Acquisition failing here means the platform's admission
         // pre-check raced a competing placement; the caller handles it
         // like any other resource failure.
-        let mut grade_groups: Vec<Option<PlacementGroupId>> = Vec::with_capacity(spec.grades.len());
-        for (g, placement) in spec.grades.iter().zip(&placements) {
-            let Some((bundle, actors)) =
-                Self::grade_request(g, placement.logical_devices.len() as u64, cluster)
-            else {
-                grade_groups.push(None);
-                continue;
-            };
-            match cluster.acquire_group(bundle, actors as usize) {
-                Ok(pg) => grade_groups.push(Some(pg)),
-                Err(err) => {
-                    for pg in grade_groups.iter().flatten() {
-                        cluster.release_job(*pg);
-                    }
-                    return Err(err);
-                }
-            }
-        }
+        let grade_groups = Self::acquire_grade_groups(spec, &placements, cluster)?;
         let groups: Vec<PlacementGroupId> = grade_groups.iter().flatten().copied().collect();
 
         // Everything past acquisition must give the groups back on error.
         let planned = self.plan_timeline(
             spec,
             dataset,
-            cluster,
-            phones,
+            &mut LiveSubstrate { cluster, phones },
             storage,
             start,
             allocation,
@@ -424,17 +446,105 @@ impl TaskRunner {
         }
     }
 
+    /// Deals device ids to grades in allocation order and binds benchmark
+    /// devices to concrete phones via `select` — the sequential path
+    /// queries the live fleet, the batch dispatcher layers a
+    /// reserved-phone overlay on the same query. One body for both, so
+    /// device numbering and selection order cannot drift.
+    pub(crate) fn place_devices<F>(
+        spec: &TaskSpec,
+        allocation: &Allocation,
+        mut select: F,
+    ) -> Result<Vec<GradePlacement>>
+    where
+        F: FnMut(simdc_types::DeviceGrade, usize) -> Result<Vec<PhoneId>>,
+    {
+        let mut placements: Vec<GradePlacement> = Vec::with_capacity(spec.grades.len());
+        let mut next_device: u64 = 0;
+        for (g, alloc) in spec.grades.iter().zip(&allocation.grades) {
+            let mut take = |n: u64| -> Vec<DeviceId> {
+                let ids = (next_device..next_device + n).map(DeviceId).collect();
+                next_device += n;
+                ids
+            };
+            let logical_devices = take(alloc.logical_devices);
+            let phone_devices = take(alloc.phone_devices);
+            let benchmark_ids = take(alloc.benchmark_devices);
+            let benchmark_phones = if alloc.benchmark_devices > 0 {
+                select(g.grade, alloc.benchmark_devices as usize)?
+            } else {
+                Vec::new()
+            };
+            placements.push(GradePlacement {
+                logical_devices,
+                phone_devices,
+                benchmark_devices: benchmark_ids.into_iter().zip(benchmark_phones).collect(),
+            });
+        }
+        Ok(placements)
+    }
+
+    /// A grade whose phone fleet has drained to zero (churn, retirement,
+    /// or a fleet that never had it) offers no behaviour profile to
+    /// average. A task placing devices on that grade's phone cluster
+    /// must surface resource exhaustion instead of silently planning
+    /// with the static paper profile of phones that do not exist.
+    pub(crate) fn check_phone_grades(
+        spec: &TaskSpec,
+        placements: &[GradePlacement],
+        has_profile: impl Fn(simdc_types::DeviceGrade) -> bool,
+    ) -> Result<()> {
+        for (g, placement) in spec.grades.iter().zip(placements) {
+            let needs_phones =
+                !placement.phone_devices.is_empty() || !placement.benchmark_devices.is_empty();
+            if needs_phones && !has_profile(g.grade) {
+                return Err(SimdcError::ResourceExhausted {
+                    requested: format!("{} phone-cluster devices for task {}", g.grade, spec.id),
+                    available: format!("0 {} phones registered", g.grade),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Acquires one placement group per grade with logical devices,
+    /// rolling back the task's own partial acquisitions on failure.
+    pub(crate) fn acquire_grade_groups(
+        spec: &TaskSpec,
+        placements: &[GradePlacement],
+        cluster: &mut LogicalCluster,
+    ) -> Result<Vec<Option<PlacementGroupId>>> {
+        let mut grade_groups: Vec<Option<PlacementGroupId>> = Vec::with_capacity(spec.grades.len());
+        for (g, placement) in spec.grades.iter().zip(placements) {
+            let Some((bundle, actors)) =
+                Self::grade_request(g, placement.logical_devices.len() as u64, cluster)
+            else {
+                grade_groups.push(None);
+                continue;
+            };
+            match cluster.acquire_group(bundle, actors as usize) {
+                Ok(pg) => grade_groups.push(Some(pg)),
+                Err(err) => {
+                    for pg in grade_groups.iter().flatten() {
+                        cluster.release_job(*pg);
+                    }
+                    return Err(err);
+                }
+            }
+        }
+        Ok(grade_groups)
+    }
+
     /// The fallible tail of [`TaskRunner::plan`]: rounds, DeviceFlow
     /// routing, aggregation and benchmark reservation over already
     /// acquired placement groups. Split out so `plan` can release the
     /// groups on any error.
     #[allow(clippy::too_many_arguments, clippy::too_many_lines)]
-    fn plan_timeline(
+    pub(crate) fn plan_timeline<S: PlanSubstrate>(
         &self,
         spec: &TaskSpec,
         dataset: &CtrDataset,
-        cluster: &mut LogicalCluster,
-        phones: &mut PhoneMgr,
+        substrate: &mut S,
         storage: &mut Storage,
         start: SimInstant,
         allocation: Allocation,
@@ -479,7 +589,7 @@ impl TaskRunner {
                 // Grades that place phone work were verified non-empty
                 // right after placement, so the nominal fallback here can
                 // only ever serve fully-logical grades.
-                let profile = phones.effective_profile(g.grade);
+                let profile = substrate.effective_profile(g.grade);
                 // Logical side: plan this round over the task's standing
                 // placement group (acquired once, released at completion).
                 if let Some(pg) = group {
@@ -492,7 +602,7 @@ impl TaskRunner {
                         units_per_device: g.units_per_device as u32,
                         payload_mib,
                     };
-                    let plan = cluster.plan_round_on_group(*pg, &job, rng)?;
+                    let plan = substrate.plan_round(*pg, &job, rng)?;
                     for (dev, offset) in plan.device_completions() {
                         let at = round_start + offset;
                         compute_finished = compute_finished.max(at);
@@ -661,13 +771,11 @@ impl TaskRunner {
                     // its measurement windows come from that phone's own
                     // profile — a straggler benchmark phone is measured at
                     // its real (slowed) pace, not the fleet average.
-                    let profile = phones
-                        .phone(phone)
-                        .map_or_else(|| PhoneProfile::for_grade(g.grade), |p| p.profile().clone());
+                    let profile = substrate.benchmark_profile(g.grade, phone);
                     let (durations, gaps) = benchmark_windows(&rounds, &profile);
                     let plan = simdc_phone::RunPlan::new(spec.id, phone, start, &durations, &gaps)?;
                     finished_at = finished_at.max(plan.end());
-                    phones.submit_run(phone, plan)?;
+                    substrate.submit_run(phone, plan)?;
                     benchmark_phones.push(phone);
                 }
             }

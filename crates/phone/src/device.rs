@@ -29,7 +29,7 @@ impl std::fmt::Display for Provenance {
 /// An emulated Android phone: stage-driven power/CPU/memory/network models
 /// behind a virtual sysfs/procfs, addressable through
 /// [`PhoneDevice::adb_shell`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PhoneDevice {
     id: PhoneId,
     model_name: String,

@@ -43,7 +43,7 @@ pub mod stage;
 
 pub use device::{PhoneDevice, Provenance};
 pub use measure::{PerfReport, PerfSample, StageMetrics};
-pub use mgr::{FleetSpec, PhoneMgr};
+pub use mgr::{FleetSegment, FleetSpec, PhoneMgr};
 pub use profile::PhoneProfile;
 pub use stage::{RunPlan, Stage, StageWindow};
 

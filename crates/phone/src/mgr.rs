@@ -79,6 +79,92 @@ impl FleetSpec {
             .map(|&g| self.local.get(g) + self.msp.get(g))
             .sum()
     }
+
+    /// The fleet as contiguous id-range segments in registration order
+    /// (every Local grade, then every MSP grade — the exact order
+    /// [`PhoneMgr::with_fleet`] registers phones). Each segment is an
+    /// independent unit of work for parallel fleet construction: building
+    /// the segments in any order and concatenating them by `start` yields
+    /// the same fleet `with_fleet` builds one phone at a time.
+    #[must_use]
+    pub fn segments(&self) -> Vec<FleetSegment> {
+        let mut out = Vec::with_capacity(2 * DeviceGrade::COUNT);
+        let mut next_id = 0u32;
+        let mut push = |grade: DeviceGrade, provenance: Provenance, count: usize| {
+            if count > 0 {
+                out.push(FleetSegment {
+                    start: next_id,
+                    count,
+                    grade,
+                    provenance,
+                });
+                next_id += count as u32;
+            }
+        };
+        for grade in DeviceGrade::ALL {
+            push(grade, Provenance::Local, *self.local.get(grade));
+        }
+        for grade in DeviceGrade::ALL {
+            push(grade, Provenance::Msp, *self.msp.get(grade));
+        }
+        out
+    }
+}
+
+/// One contiguous run of same-`(grade, provenance)` phone ids inside a
+/// [`FleetSpec`]'s registration order — the unit of parallel fleet
+/// construction. Produced by [`FleetSpec::segments`]; built into devices by
+/// [`FleetSegment::build`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetSegment {
+    /// First phone id in the segment.
+    pub start: u32,
+    /// Number of phones.
+    pub count: usize,
+    /// Grade of every phone in the segment.
+    pub grade: DeviceGrade,
+    /// Provenance of every phone in the segment.
+    pub provenance: Provenance,
+}
+
+impl FleetSegment {
+    /// Builds the segment's devices — a pure function of `(self, seed)`,
+    /// safe to run on any thread. Model strings and per-phone rng seeding
+    /// match [`PhoneMgr::with_fleet`] exactly (which is itself built on
+    /// this function, so the two cannot drift).
+    #[must_use]
+    pub fn build(&self, seed: u64) -> Vec<PhoneDevice> {
+        let prefix = match self.provenance {
+            Provenance::Local => "l",
+            Provenance::Msp => "m",
+        };
+        (0..self.count as u32)
+            .map(|i| {
+                let id = PhoneId(self.start + i);
+                let model = format!("simphone-{prefix}{}", id.0);
+                PhoneDevice::new(id, model, self.grade, self.provenance, seed)
+            })
+            .collect()
+    }
+
+    /// Splits the segment into chunks of at most `chunk` phones, keeping
+    /// id order — the fan-out step for parallel construction.
+    #[must_use]
+    pub fn chunked(&self, chunk: usize) -> Vec<FleetSegment> {
+        let chunk = chunk.max(1);
+        let mut out = Vec::with_capacity(self.count.div_ceil(chunk));
+        let mut offset = 0usize;
+        while offset < self.count {
+            let count = chunk.min(self.count - offset);
+            out.push(FleetSegment {
+                start: self.start + offset as u32,
+                count,
+                ..*self
+            });
+            offset += count;
+        }
+        out
+    }
 }
 
 /// The phone-device management module (§IV-C).
@@ -124,34 +210,33 @@ impl PhoneMgr {
         Self::with_fleet(FleetSpec::paper_default(), SimDuration::from_secs(1), seed)
     }
 
-    /// Builds a fleet from an explicit composition.
+    /// Builds a fleet from an explicit composition by materializing each
+    /// registration-order segment in turn (see [`FleetSpec::segments`]).
     #[must_use]
     pub fn with_fleet(spec: FleetSpec, poll_interval: SimDuration, seed: u64) -> Self {
+        let phones = spec
+            .segments()
+            .iter()
+            .flat_map(|seg| seg.build(seed))
+            .collect();
+        Self::from_prebuilt(phones, poll_interval).expect("segment ids cannot collide")
+    }
+
+    /// Assembles a manager from devices built elsewhere — the join step of
+    /// parallel fleet construction. `phones` must arrive in registration
+    /// order (concatenated [`FleetSegment::build`] outputs sorted by
+    /// `start`) for the fleet to be indistinguishable from a
+    /// [`PhoneMgr::with_fleet`] build.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidConfig` on a duplicate phone id.
+    pub fn from_prebuilt(phones: Vec<PhoneDevice>, poll_interval: SimDuration) -> Result<Self> {
         let mut mgr = PhoneMgr::new(poll_interval);
-        let mut next_id = 0u32;
-        let mut add = |mgr: &mut PhoneMgr, grade: DeviceGrade, prov: Provenance, n: usize| {
-            for _ in 0..n {
-                let id = PhoneId(next_id);
-                next_id += 1;
-                let model = format!(
-                    "simphone-{}{}",
-                    match prov {
-                        Provenance::Local => "l",
-                        Provenance::Msp => "m",
-                    },
-                    id.0
-                );
-                mgr.register(PhoneDevice::new(id, model, grade, prov, seed))
-                    .expect("fresh ids cannot collide");
-            }
-        };
-        for grade in DeviceGrade::ALL {
-            add(&mut mgr, grade, Provenance::Local, *spec.local.get(grade));
+        for phone in phones {
+            mgr.register(phone)?;
         }
-        for grade in DeviceGrade::ALL {
-            add(&mut mgr, grade, Provenance::Msp, *spec.msp.get(grade));
-        }
-        mgr
+        Ok(mgr)
     }
 
     /// Registers a phone.
@@ -366,6 +451,40 @@ impl PhoneMgr {
         count: usize,
         now: SimInstant,
     ) -> Result<Vec<PhoneId>> {
+        self.select_where(grade, count, now, None)
+    }
+
+    /// [`PhoneMgr::select`] with a reserved-phone overlay: `reserved` ids
+    /// are treated as busy even though no run has been assigned yet. The
+    /// batch plan dispatcher uses this to replay sequential admission —
+    /// task B's selection must skip the phones task A picked an instant
+    /// ago, before A's run plans have actually been submitted. Reported
+    /// availability subtracts the reserved phones of the grade, so error
+    /// messages match what the sequential path would say.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimdcError::ResourceExhausted`] if fewer than `count`
+    /// unreserved phones are idle.
+    pub fn select_excluding(
+        &self,
+        grade: DeviceGrade,
+        count: usize,
+        now: SimInstant,
+        reserved: &std::collections::BTreeSet<PhoneId>,
+    ) -> Result<Vec<PhoneId>> {
+        self.select_where(grade, count, now, Some(reserved))
+    }
+
+    /// The one selection body behind [`PhoneMgr::select`] and
+    /// [`PhoneMgr::select_excluding`], so the two orders cannot drift.
+    fn select_where(
+        &self,
+        grade: DeviceGrade,
+        count: usize,
+        now: SimInstant,
+        reserved: Option<&std::collections::BTreeSet<PhoneId>>,
+    ) -> Result<Vec<PhoneId>> {
         if count == 0 {
             return Ok(Vec::new());
         }
@@ -375,13 +494,29 @@ impl PhoneMgr {
             requested: format!("{count} {grade} phones"),
             available: format!("{available} {grade} phones"),
         };
+        // Reserved ids currently sitting in this grade's free sets — the
+        // phones a sequential run would already have marked busy.
+        let reserved_free = reserved.map_or(0, |set| {
+            set.iter()
+                .filter(|id| {
+                    self.by_id.get(id).is_some_and(|&slot| {
+                        let p = &self.phones[slot];
+                        p.grade() == grade && !p.is_busy(now) && !p.is_crashed(now)
+                    })
+                })
+                .count()
+        });
         // O(1) shortfall check so an unsatisfiable request never walks the
         // free set (the scheduler probes depleted grades repeatedly).
-        if idx.free_count(grade) < count {
-            return Err(exhausted(idx.free_count(grade)));
+        let free = idx.free_count(grade).saturating_sub(reserved_free);
+        if free < count {
+            return Err(exhausted(free));
         }
         let mut picked = Vec::with_capacity(count);
         for id in idx.iter_free(grade) {
+            if reserved.is_some_and(|set| set.contains(&id)) {
+                continue;
+            }
             // Defensive re-verification: free sets are exact for
             // monotonically advancing query times; this guards the
             // invariant even if a caller runs time backwards.
@@ -813,6 +948,105 @@ mod tests {
         mgr.phone_mut(id).unwrap().set_profile(slowed).unwrap();
         let eff = mgr.effective_profile(DeviceGrade::High);
         assert!(eff.train_duration > PhoneProfile::for_grade(DeviceGrade::High).train_duration);
+    }
+
+    #[test]
+    fn segments_cover_the_fleet_contiguously_in_registration_order() {
+        let spec = FleetSpec::paper_default();
+        let segs = spec.segments();
+        assert_eq!(segs.len(), 4);
+        let mut next = 0u32;
+        for seg in &segs {
+            assert_eq!(seg.start, next, "segments must tile the id space");
+            next += seg.count as u32;
+        }
+        assert_eq!(next as usize, spec.total());
+        // Registration order: every Local grade before any MSP grade.
+        let first_msp = segs
+            .iter()
+            .position(|s| s.provenance == Provenance::Msp)
+            .unwrap();
+        assert!(segs[..first_msp]
+            .iter()
+            .all(|s| s.provenance == Provenance::Local));
+        assert!(segs[first_msp..]
+            .iter()
+            .all(|s| s.provenance == Provenance::Msp));
+    }
+
+    #[test]
+    fn chunked_segments_rebuild_the_segment_exactly() {
+        let seg = FleetSegment {
+            start: 10,
+            count: 7,
+            grade: DeviceGrade::Low,
+            provenance: Provenance::Msp,
+        };
+        for chunk in [1, 2, 3, 7, 100] {
+            let parts = seg.chunked(chunk);
+            assert_eq!(parts.iter().map(|p| p.count).sum::<usize>(), seg.count);
+            let rebuilt: Vec<PhoneDevice> = parts.iter().flat_map(|p| p.build(42)).collect();
+            assert_eq!(rebuilt, seg.build(42), "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn prebuilt_segments_match_with_fleet_exactly() {
+        let spec = FleetSpec::scaled_paper(90);
+        let seed = 7;
+        let direct = PhoneMgr::with_fleet(spec, SimDuration::from_secs(1), seed);
+        let phones: Vec<PhoneDevice> = spec
+            .segments()
+            .iter()
+            .flat_map(|seg| seg.chunked(13))
+            .flat_map(|seg| seg.build(seed))
+            .collect();
+        let rebuilt = PhoneMgr::from_prebuilt(phones, SimDuration::from_secs(1)).unwrap();
+        assert_eq!(direct.phones(), rebuilt.phones());
+        // And the index answers agree.
+        for grade in DeviceGrade::ALL {
+            assert_eq!(
+                direct.available(grade, t(0)),
+                rebuilt.available(grade, t(0))
+            );
+            assert_eq!(
+                direct.select(grade, 5, t(0)).unwrap(),
+                rebuilt.select(grade, 5, t(0)).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn select_excluding_replays_sequential_reservation() {
+        let mut mgr = PhoneMgr::paper_default(17);
+        let first = mgr.select(DeviceGrade::High, 3, t(0)).unwrap();
+        let reserved: std::collections::BTreeSet<PhoneId> = first.iter().copied().collect();
+        // Overlay path: before any run exists, exclude the reserved set.
+        let overlay_picked = mgr
+            .select_excluding(DeviceGrade::High, 3, t(0), &reserved)
+            .unwrap();
+        let overlay_err = mgr
+            .select_excluding(DeviceGrade::High, 15, t(0), &reserved)
+            .unwrap_err()
+            .to_string();
+        // Sequential path: actually submit runs on the first batch.
+        for &id in &first {
+            let plan = mgr
+                .plan_for(id, TaskId(1), t(0), 1, SimDuration::ZERO)
+                .unwrap();
+            mgr.submit_run(id, plan).unwrap();
+        }
+        assert_eq!(
+            mgr.select(DeviceGrade::High, 3, t(0)).unwrap(),
+            overlay_picked
+        );
+        assert_eq!(
+            mgr.select(DeviceGrade::High, 15, t(0))
+                .unwrap_err()
+                .to_string(),
+            overlay_err,
+            "exhaustion reports must match the sequential wording"
+        );
     }
 
     #[test]

@@ -227,6 +227,17 @@ impl<E> EventQueue<E> {
         self.heap.push(Entry { at, seq, event });
     }
 
+    /// Enqueues a batch of events in the given order: element `i` receives
+    /// sequence number `seq + i`, exactly as if each had been pushed
+    /// individually. The merge step of parallel planning uses this to
+    /// commit worker results in admission order, so a threaded run
+    /// assigns the same `(time, seq)` pairs a sequential run would.
+    pub fn push_batch(&mut self, events: impl IntoIterator<Item = (SimInstant, E)>) {
+        for (at, event) in events {
+            self.push(at, event);
+        }
+    }
+
     /// Pops the earliest `(time, insertion order)` event.
     pub fn pop(&mut self) -> Option<(SimInstant, E)> {
         self.heap.pop().map(|e| (e.at, e.event))
@@ -401,6 +412,45 @@ mod tests {
         eng.schedule_in(SimDuration::from_micros(10), Ev::Mark("x"));
         eng.run();
         eng.schedule_at(SimInstant::from_micros(5), Ev::Mark("y"));
+    }
+
+    /// The boundary the platform's arrival sync leans on: an event due
+    /// at *exactly* the deadline is admitted — `pop_before` is `<=`, not
+    /// `<`. A task completing at the same instant a new task arrives must
+    /// release its lease before the arrival's scheduling pass, or the
+    /// freed capacity is invisible and the tie resolves wrongly.
+    #[test]
+    fn pop_before_admits_at_exactly_the_deadline() {
+        let mut q: EventQueue<&'static str> = EventQueue::new();
+        q.push(SimInstant::from_micros(10), "due");
+        q.push(SimInstant::from_micros(11), "later");
+        assert_eq!(
+            q.pop_before(SimInstant::from_micros(10)),
+            Some((SimInstant::from_micros(10), "due"))
+        );
+        assert_eq!(q.pop_before(SimInstant::from_micros(10)), None);
+        assert_eq!(q.len(), 1, "the later event stays queued");
+    }
+
+    /// Batched pushes get consecutive sequence numbers in element order,
+    /// so a batch of simultaneous events pops in exactly the order the
+    /// batch listed them — interleaved FIFO with singly-pushed ties.
+    #[test]
+    fn push_batch_preserves_fifo_among_ties() {
+        let t = SimInstant::from_micros(5);
+        let mut q: EventQueue<&'static str> = EventQueue::new();
+        q.push(t, "first");
+        q.push_batch([
+            (t, "batch-a"),
+            (SimInstant::from_micros(3), "early"),
+            (t, "batch-b"),
+        ]);
+        q.push(t, "last");
+        let mut order = Vec::new();
+        while let Some((_, e)) = q.pop() {
+            order.push(e);
+        }
+        assert_eq!(order, vec!["early", "first", "batch-a", "batch-b", "last"]);
     }
 
     #[test]

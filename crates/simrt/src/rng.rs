@@ -94,7 +94,7 @@ pub fn derive_seed(root: u64, label: &str) -> u64 {
 ///
 /// Thin wrapper over SplitMix64 with the distribution samplers SimDC needs.
 /// Implements [`RngCore`] so it composes with `rand` adapters too.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RngStream {
     inner: SplitMix64,
 }

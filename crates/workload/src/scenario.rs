@@ -110,6 +110,24 @@ impl Scenario {
         dataset: &Arc<CtrDataset>,
         seed: u64,
     ) -> ScenarioSummary {
+        self.run_detailed(config, dataset, seed).0
+    }
+
+    /// Like [`Scenario::run`], but also hands back the drained platform —
+    /// for tests and tools that need post-run internals the summary
+    /// deliberately omits (e.g. billed node-seconds for the cost
+    /// reconciliation check).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario fails [`Scenario::validate`].
+    #[must_use]
+    pub fn run_detailed(
+        &self,
+        config: PlatformConfig,
+        dataset: &Arc<CtrDataset>,
+        seed: u64,
+    ) -> (ScenarioSummary, Platform) {
         self.validate().expect("scenario must be valid");
         let mut rng = RngStream::named(seed, &format!("scenario/{}", self.name));
         let mut config = config;
@@ -363,7 +381,11 @@ fn summarize(
     mut world: ScenarioWorld,
     stragglers: u64,
     outer_events: u64,
-) -> ScenarioSummary {
+) -> (ScenarioSummary, Platform) {
+    // Flush the final partial node-hour before the last sample: a run
+    // ending mid-hour must still bill its tail, so `cost_total` always
+    // equals billed node-seconds × the hourly rate.
+    world.platform.finalize_cost();
     // One final post-drain sample, so the series always ends on the
     // settled state (surplus nodes drained or still paying cooldown).
     world.sample_cloud(world.platform.status().now);
@@ -407,7 +429,7 @@ fn summarize(
             xs.iter().sum::<f64>() / xs.len() as f64
         }
     };
-    ScenarioSummary {
+    let summary = ScenarioSummary {
         scenario: scenario.name.clone(),
         seed,
         horizon_secs: scenario.horizon.as_secs_f64(),
@@ -432,7 +454,8 @@ fn summarize(
         mean_final_accuracy: mean(&accuracies),
         arrival_preview_secs: offsets.iter().take(8).map(|d| d.as_secs_f64()).collect(),
         cloud,
-    }
+    };
+    (summary, world.platform)
 }
 
 /// The built-in scenario library: the six workloads `cargo run --bin
@@ -844,6 +867,32 @@ mod tests {
         assert!(a.events > a.arrivals + a.completed, "{a:?}");
     }
 
+    /// Sharded-execution acceptance check: the same scenario run with a
+    /// worker pool — parallel fleet construction plus batched plan-phase
+    /// dispatch with the deterministic `(time, seq)` merge — produces
+    /// byte-identical summary JSON for every thread count.
+    #[test]
+    fn thread_count_never_changes_scenario_bytes() {
+        let scenario = mega_fleet().scaled(0.1);
+        let data = dataset();
+        let run = |threads: usize| {
+            let config = PlatformConfig {
+                fleet: simdc_phone::FleetSpec::scaled_paper(1_500),
+                threads,
+                ..PlatformConfig::default()
+            };
+            serde_json::to_string(&scenario.run(config, &data, 21)).unwrap()
+        };
+        let sequential = run(1);
+        for threads in [2, 8] {
+            assert_eq!(
+                run(threads),
+                sequential,
+                "threads={threads} changed scenario bytes"
+            );
+        }
+    }
+
     /// The tentpole acceptance check: one `cloud_surge` run scales the
     /// node count up during the burst and back down afterwards, asserted
     /// on the emitted time series — and blocked placements waited for
@@ -902,8 +951,24 @@ mod tests {
     fn budget_cap_bounds_node_count_in_the_series() {
         let scenario = budget_capped();
         let data = dataset();
-        let summary = scenario.run(PlatformConfig::default(), &data, 5);
+        let (summary, platform) = scenario.run_detailed(PlatformConfig::default(), &data, 5);
         assert!(summary.submitted > 0);
+        // Cost reconciliation: the reported total equals billed
+        // node-seconds × the hourly rate within one float rounding step —
+        // in particular the final partial node-hour is billed, not
+        // dropped at the last whole-hour boundary.
+        let rate = platform.cluster().cost().node_hourly_cost;
+        let expected = platform.cluster().node_seconds() * rate / 3_600.0;
+        assert!(
+            (summary.cloud.cost_total - expected).abs() <= 1e-9 * expected.max(1.0),
+            "cost_total {} must reconcile with node-seconds pricing {}",
+            summary.cloud.cost_total,
+            expected
+        );
+        assert!(
+            summary.cloud.cost_total > 0.0,
+            "the pool was up for the whole horizon"
+        );
         for sample in &summary.cloud.series {
             assert!(
                 sample.nodes <= 6,

@@ -70,4 +70,7 @@ fn cloud_surge_summary_digest_is_pinned() {
 
 /// Pinned over the BTreeMap-converted (PR 6) platform state; stable since.
 const MEGA_FLEET_DIGEST: u64 = 6_374_329_799_801_503_195;
-const CLOUD_SURGE_DIGEST: u64 = 15_696_127_075_458_934_898;
+/// Re-pinned when autoscaler reclaim started waking the platform: reclaim
+/// wake events change `node_ready_events` counts (and downstream cost
+/// accounting) on purpose. See the autoscaler's reclaimed-drain tests.
+const CLOUD_SURGE_DIGEST: u64 = 3_823_498_095_159_712_412;

@@ -1,0 +1,156 @@
+//! Vendored minimal fixed-size thread pool.
+//!
+//! The only primitive SimDC's sharded platform core needs from a thread
+//! pool is an *order-preserving parallel map*: run a pure function over a
+//! batch of items on up to `threads` OS threads and hand the results back
+//! in submission order, regardless of which worker finished first. That is
+//! exactly what [`FixedPool::run_batch`] provides — a pull-model work
+//! queue (workers take the next `(index, item)` when they become idle, so
+//! an unlucky long item does not stall the whole stripe) feeding a
+//! slot-per-index result vector, all inside [`std::thread::scope`] so
+//! borrowed inputs work without `'static` bounds.
+//!
+//! Determinism contract: the *values* returned are whatever `f` computes —
+//! the pool adds no ordering of its own beyond restoring submission order.
+//! If `f` is a pure function of its item, `run_batch` over N threads is
+//! byte-identical to a sequential `items.into_iter().map(f).collect()`,
+//! which is the property the SimDC dispatcher's `--threads N ==
+//! --threads 1` guarantee is built on.
+//!
+//! With `threads <= 1` (or a batch of one) no thread is ever spawned and
+//! the batch runs inline on the caller's stack, so a single-threaded
+//! configuration exercises exactly the sequential code path.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A fixed-width scoped thread pool.
+///
+/// "Fixed" refers to the configured width: every [`run_batch`] call uses
+/// scoped threads sized to `min(threads, items)`, so the pool itself holds
+/// no long-lived workers, channels or shared state — construction is free
+/// and the type is trivially `Send + Sync`.
+///
+/// [`run_batch`]: FixedPool::run_batch
+#[derive(Debug, Clone, Copy)]
+pub struct FixedPool {
+    threads: usize,
+}
+
+impl FixedPool {
+    /// Creates a pool that will use at most `threads` worker threads.
+    ///
+    /// `0` is normalised to `1`; both mean "run inline, never spawn".
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The configured maximum number of worker threads (always ≥ 1).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Maps `f` over `items` on up to `self.threads()` threads, returning
+    /// the results in submission order.
+    ///
+    /// Workers pull `(index, item)` pairs from a shared queue as they go
+    /// idle and write each result into its index's slot, so result order
+    /// is independent of scheduling. With one thread or at most one item
+    /// the batch runs inline without spawning.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from `f` (the scope joins all workers first).
+    pub fn run_batch<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        if self.threads <= 1 || items.len() <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        let n = items.len();
+        let workers = self.threads.min(n);
+        let injector: Mutex<VecDeque<(usize, T)>> =
+            Mutex::new(items.into_iter().enumerate().collect());
+        let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+        slots.resize_with(n, || None);
+        let slots_mutex = Mutex::new(&mut slots);
+        let f = &f;
+        let injector = &injector;
+        let slots_ref = &slots_mutex;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(move || loop {
+                    let next = injector
+                        .lock()
+                        .expect("minipool injector poisoned")
+                        .pop_front();
+                    let Some((index, item)) = next else {
+                        break;
+                    };
+                    let result = f(item);
+                    slots_ref.lock().expect("minipool slots poisoned")[index] = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("minipool: every slot filled after join"))
+            .collect()
+    }
+}
+
+impl Default for FixedPool {
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_path_preserves_order() {
+        let pool = FixedPool::new(1);
+        let out = pool.run_batch(vec![1u32, 2, 3], |x| x * 10);
+        assert_eq!(out, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn zero_threads_normalises_to_one() {
+        let pool = FixedPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        assert_eq!(pool.run_batch(vec![5u8], |x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn threaded_batch_matches_sequential_order() {
+        let pool = FixedPool::new(4);
+        let items: Vec<u64> = (0..100).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x).collect();
+        let out = pool.run_batch(items, |x| x * x);
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn borrowed_environment_is_usable() {
+        let base = [100u64, 200, 300];
+        let pool = FixedPool::new(2);
+        let out = pool.run_batch(vec![0usize, 1, 2], |i| base[i] + 1);
+        assert_eq!(out, vec![101, 201, 301]);
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let pool = FixedPool::new(8);
+        let out = pool.run_batch(vec![1u8, 2], |x| x);
+        assert_eq!(out, vec![1, 2]);
+    }
+}
