@@ -7,6 +7,10 @@
 //! (free capacity equals total capacity whenever the platform is idle)
 //! across random schedules.
 
+// Reviewed interior-mutability exception (clippy mirror of simlint P2):
+// test-only memoisation of a deterministic dataset — the cell's content
+// is a pure function of its fixed seed, so init order cannot matter.
+#[allow(clippy::disallowed_types)]
 use std::sync::{Arc, OnceLock};
 
 use proptest::prelude::*;
@@ -17,6 +21,7 @@ use simdc_core::{
 use simdc_data::{CtrDataset, GeneratorConfig};
 use simdc_types::{DeviceGrade, PerGrade, SimDuration, SimInstant, TaskId};
 
+#[allow(clippy::disallowed_types)] // reviewed: see the `OnceLock` import
 fn dataset() -> Arc<CtrDataset> {
     static DATA: OnceLock<Arc<CtrDataset>> = OnceLock::new();
     DATA.get_or_init(|| {

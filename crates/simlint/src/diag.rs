@@ -34,6 +34,57 @@ pub fn sort_findings(findings: &mut [Finding]) {
     });
 }
 
+/// Renders findings as the machine-readable JSON document CI archives
+/// (`simlint.json`) and diffs against the committed baseline.
+///
+/// The output is deterministic byte-for-byte for a given finding list:
+/// fixed key order, two-space indentation, a trailing newline, and no
+/// volatile fields (file counts change on every PR; findings are the
+/// contract). An empty scan renders as `{"findings": []}` so the
+/// baseline of a clean tree is a stable two-line document.
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\n");
+        out.push_str(&format!("      \"path\": \"{}\",\n", escape_json(&f.path)));
+        out.push_str(&format!("      \"line\": {},\n", f.line));
+        out.push_str(&format!("      \"col\": {},\n", f.col));
+        out.push_str(&format!("      \"code\": \"{}\",\n", escape_json(f.code)));
+        out.push_str(&format!(
+            "      \"message\": \"{}\"\n",
+            escape_json(&f.message)
+        ));
+        out.push_str("    }");
+    }
+    if findings.is_empty() {
+        out.push_str("]\n}\n");
+    } else {
+        out.push_str("\n  ]\n}\n");
+    }
+    out
+}
+
+/// Escapes a string for a JSON literal (quotes, backslashes, control
+/// characters; non-ASCII passes through as UTF-8).
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -51,6 +102,27 @@ mod tests {
             f.to_string(),
             "crates/x/src/lib.rs:3:9: [D1/hash-collections] msg"
         );
+    }
+
+    #[test]
+    fn json_of_empty_scan_is_the_stable_baseline_document() {
+        assert_eq!(render_json(&[]), "{\n  \"findings\": []\n}\n");
+    }
+
+    #[test]
+    fn json_escapes_and_orders_fields() {
+        let f = Finding {
+            path: "crates/x/src/lib.rs".into(),
+            line: 3,
+            col: 9,
+            code: "P1/shared-mutation",
+            message: "a \"quoted\"\tpath\\name".into(),
+        };
+        let json = render_json(&[f]);
+        assert!(json.contains("\"path\": \"crates/x/src/lib.rs\""));
+        assert!(json.contains("\"line\": 3"));
+        assert!(json.contains("\"message\": \"a \\\"quoted\\\"\\tpath\\\\name\""));
+        assert!(json.ends_with("\n  ]\n}\n"));
     }
 
     #[test]

@@ -8,7 +8,13 @@
 //! offline, dependency-free static-analysis pass with its own
 //! lightweight Rust scanner ([`lexer`]); it does not parse Rust fully —
 //! it lexes just enough to pattern-match the project-specific rules in
-//! [`rules`] without tripping over strings or doc comments.
+//! [`rules`] without tripping over strings or doc comments. On top of
+//! the lexer sits a workspace-level layer — an item parser
+//! ([`parser`]), a cross-file symbol table ([`symbols`]) and a resolved
+//! call graph ([`callgraph`]) — powering the P-rule purity analysis
+//! ([`purity`]): the transitive worker-reachability check that makes
+//! the sharded core's "no shared mutation off the serial phases"
+//! contract a static gate instead of a runtime hope.
 //!
 //! Run it over the workspace (the CI gate):
 //!
@@ -25,13 +31,18 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod callgraph;
 pub mod config;
 pub mod diag;
 pub mod lexer;
+pub mod parser;
+pub mod purity;
 pub mod rules;
+pub mod symbols;
 pub mod walk;
 
 pub use config::{Config, ConfigError};
-pub use diag::Finding;
+pub use diag::{render_json, Finding};
+pub use purity::{analyze_sources, GraphStats};
 pub use rules::{lint_file, FileContext};
 pub use walk::{find_workspace_root, lint_workspace, ScanReport};

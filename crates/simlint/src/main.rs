@@ -3,19 +3,30 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use simdc_simlint::{find_workspace_root, lint_workspace, Config};
+use simdc_simlint::{find_workspace_root, lint_workspace, render_json, Config};
 
-const USAGE: &str = "usage: simlint --workspace [--root DIR] [--config FILE]
+const USAGE: &str = "usage: simlint --workspace [--root DIR] [--config FILE] [--format FMT]
 
 Lints the SimDC workspace for determinism & invariant violations.
   --workspace     scan the whole workspace (required; explicit by design)
   --root DIR      workspace root (default: walk up from the current dir)
-  --config FILE   simlint.toml to use (default: <root>/simlint.toml)";
+  --config FILE   simlint.toml to use (default: <root>/simlint.toml)
+  --format FMT    `text` (default) or `json` — json prints the findings
+                  document to stdout (the summary goes to stderr) for CI
+                  archiving and baseline diffing";
+
+/// Diagnostic output formats.
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
 
 fn main() -> ExitCode {
     let mut workspace = false;
     let mut root: Option<PathBuf> = None;
     let mut config_path: Option<PathBuf> = None;
+    let mut format = Format::Text;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -27,6 +38,14 @@ fn main() -> ExitCode {
             "--config" => match args.next() {
                 Some(v) => config_path = Some(PathBuf::from(v)),
                 None => return usage_error("--config needs a value"),
+            },
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                Some(other) => {
+                    return usage_error(&format!("unknown format `{other}` (text|json)"))
+                }
+                None => return usage_error("--format needs a value"),
             },
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -71,21 +90,40 @@ fn main() -> ExitCode {
         Ok(r) => r,
         Err(e) => return fatal(&e),
     };
-    for finding in &report.findings {
-        println!("{finding}");
-    }
-    if report.findings.is_empty() {
-        println!("simlint: clean ({} files scanned)", report.files_scanned);
-        ExitCode::SUCCESS
+    let summary = if report.findings.is_empty() {
+        format!(
+            "simlint: clean ({} files scanned; call graph: {} fns, {} edges)",
+            report.files_scanned, report.graph.functions, report.graph.edges
+        )
     } else {
         let files: std::collections::BTreeSet<&str> =
             report.findings.iter().map(|f| f.path.as_str()).collect();
-        println!(
-            "simlint: {} finding(s) in {} file(s) ({} files scanned)",
+        format!(
+            "simlint: {} finding(s) in {} file(s) ({} files scanned; call graph: {} fns, {} edges)",
             report.findings.len(),
             files.len(),
-            report.files_scanned
-        );
+            report.files_scanned,
+            report.graph.functions,
+            report.graph.edges
+        )
+    };
+    match format {
+        Format::Text => {
+            for finding in &report.findings {
+                println!("{finding}");
+            }
+            println!("{summary}");
+        }
+        Format::Json => {
+            // Findings document to stdout (redirectable to simlint.json),
+            // human summary to stderr.
+            print!("{}", render_json(&report.findings));
+            eprintln!("{summary}");
+        }
+    }
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
         ExitCode::FAILURE
     }
 }

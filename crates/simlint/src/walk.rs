@@ -7,6 +7,11 @@
 //! * `tests/`, `benches/`, `examples/` directories — test scaffolding
 //!   (in-file `#[cfg(test)]` modules are already exempted by the lexer);
 //! * `target/` and anything else outside the two source roots.
+//!
+//! The walk runs two passes over the same file set: the per-file token
+//! rules ([`crate::rules`]), then the workspace-level call-graph
+//! analysis ([`crate::purity`]) which needs every file at once to
+//! resolve cross-crate symbols.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -14,6 +19,7 @@ use std::path::{Path, PathBuf};
 use crate::config::Config;
 use crate::diag::{sort_findings, Finding};
 use crate::lexer::lex;
+use crate::purity::{analyze_sources, GraphStats};
 use crate::rules::{lint_file, FileContext};
 
 /// The result of a workspace scan.
@@ -23,6 +29,8 @@ pub struct ScanReport {
     pub findings: Vec<Finding>,
     /// How many files were scanned.
     pub files_scanned: usize,
+    /// Size of the call graph the purity analysis ran over.
+    pub graph: GraphStats,
 }
 
 /// Walks the workspace at `root` and lints every in-scope file.
@@ -64,6 +72,7 @@ pub fn lint_workspace(root: &Path, cfg: &Config) -> Result<ScanReport, String> {
 
     let mut findings = Vec::new();
     let mut files_scanned = 0usize;
+    let mut sources: Vec<(String, String)> = Vec::new();
     for src_root in src_roots {
         let crate_has_doc_gate = crate_doc_gate(&src_root)?;
         let mut files = Vec::new();
@@ -80,12 +89,23 @@ pub fn lint_workspace(root: &Path, cfg: &Config) -> Result<ScanReport, String> {
             };
             findings.extend(lint_file(&rel, &source, &ctx, cfg));
             files_scanned += 1;
+            sources.push((rel, source));
         }
     }
+    // Workspace-level pass: symbol table, call graph, P-rules and the
+    // call-graph-aware D3 check over every scanned file at once.
+    let (analysis_findings, graph) = analyze_sources(&sources, cfg);
+    findings.extend(analysis_findings);
     sort_findings(&mut findings);
+    // The typed D3 check and the token rule can anchor the same call
+    // site; keep one diagnostic per (position, code).
+    findings.dedup_by(|a, b| {
+        a.path == b.path && a.line == b.line && a.col == b.col && a.code == b.code
+    });
     Ok(ScanReport {
         findings,
         files_scanned,
+        graph,
     })
 }
 

@@ -1,0 +1,44 @@
+//! Pure worker tree: same shape as the p_violations fixture, but every
+//! reachable call is a deterministic function of (input, seed), the
+//! containers are ordered, and the one `run_batch` call sits at its
+//! registered spawner site.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+
+/// The configured worker entry point's owner.
+pub struct Worker {
+    cache: BTreeMap<u64, u64>,
+}
+
+impl Worker {
+    /// Entry: everything reachable from here is pure.
+    pub fn build(&self, seed: u64) -> u64 {
+        self.tally(seed) + mix(seed)
+    }
+
+    /// Ordered iteration only — no finding.
+    fn tally(&self, seed: u64) -> u64 {
+        let mut total = seed;
+        for (k, v) in self.cache.iter() {
+            total += k + v;
+        }
+        total
+    }
+}
+
+/// Deterministic helper reached from the entry.
+fn mix(seed: u64) -> u64 {
+    seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// The registered parallel region (this file is a spawner site).
+pub fn fan_out(items: Vec<u64>) -> Vec<u64> {
+    run_batch(items)
+}
+
+fn run_batch(items: Vec<u64>) -> Vec<u64> {
+    items
+}

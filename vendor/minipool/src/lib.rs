@@ -21,6 +21,12 @@
 //! the batch runs inline on the caller's stack, so a single-threaded
 //! configuration exercises exactly the sequential code path.
 
+// Reviewed interior-mutability exception (clippy mirror of simlint P2):
+// the Mutex *is* the pool boundary — the one place cross-thread state is
+// allowed, policed by the order-restoring contract above. Sim code never
+// sees it.
+#![allow(clippy::disallowed_types)]
+
 use std::collections::VecDeque;
 use std::sync::Mutex;
 
