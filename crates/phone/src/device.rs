@@ -61,6 +61,9 @@ impl PhoneDevice {
             run: None,
             train_pid: None,
             crashed_at: None,
+            // simlint::allow(T1/rng-stream-aliasing): labelled by phone id,
+            // which PhoneMgr::register assigns uniquely — no two phones can
+            // share a noise stream.
             noise: RngStream::named(seed, &format!("phone/{}", id.0)),
         }
     }

@@ -78,6 +78,7 @@ pub const UBIQUITOUS: &[&str] = &[
     "min_by",
     "min_by_key",
     "next",
+    "parse",
     "partial_cmp",
     "pop",
     "push",

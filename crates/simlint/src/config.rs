@@ -84,6 +84,33 @@ pub struct Config {
     /// (so unrelated `state` fields — RNG internals, node lifecycles —
     /// are not dragged in).
     pub state_guard: String,
+    /// Entry points for the T-rules (`[rules.determinism-taint]
+    /// entries`). Empty means the taint analysis is off — the workspace
+    /// opts in via `simlint.toml`, same as the P-rules.
+    pub taint_entries: Vec<String>,
+    /// Functions pruned from the taint reachability walk: the reviewed
+    /// escape hatch for call-graph over-approximation.
+    pub taint_exempt: Vec<String>,
+    /// Type heads whose values *are* rng streams: seeds the `STREAM`
+    /// taint bit, and any method on such a receiver counts as a draw
+    /// unless listed in [`Config::fork_methods`].
+    pub stream_types: Vec<String>,
+    /// Methods on a stream receiver that produce another stream rather
+    /// than a draw (`fork`, `clone`).
+    pub fork_methods: Vec<String>,
+    /// `name:argindex` / `Type::method:argindex` positions that consume
+    /// a root seed (rule T4 polices their provenance).
+    pub seed_args: Vec<String>,
+    /// `name:argindex` / `Type::method:argindex` positions that consume
+    /// a stream label (rule T1 polices constancy and uniqueness).
+    pub label_args: Vec<String>,
+    /// Shared-state sink patterns for T2 (same grammar as the P1
+    /// `mutation_sinks`): calls where a draw-tainted argument means
+    /// randomness escaped the compute phase.
+    pub escape_sinks: Vec<String>,
+    /// Field names whose assignment from a draw-tainted value is a T2
+    /// escape (`time`, `seq` — the deterministic-merge ordering keys).
+    pub tainted_fields: Vec<String>,
 }
 
 impl Default for Config {
@@ -114,6 +141,14 @@ impl Default for Config {
             spawner_sites: Vec::new(),
             state_owners: Vec::new(),
             state_guard: "TaskState".into(),
+            taint_entries: Vec::new(),
+            taint_exempt: Vec::new(),
+            stream_types: vec!["RngStream".into(), "SplitMix64".into()],
+            fork_methods: vec!["fork".into(), "clone".into()],
+            seed_args: vec!["derive_seed:0".into(), "RngStream::named:0".into()],
+            label_args: vec!["RngStream::named:1".into(), "RngStream::fork:0".into()],
+            escape_sinks: Vec::new(),
+            tainted_fields: vec!["time".into(), "seq".into()],
         }
     }
 }
@@ -165,6 +200,30 @@ impl Config {
                 }
                 "rules.task-state.owners" => config.state_owners = expect_list(&key, value)?,
                 "rules.task-state.guard" => config.state_guard = expect_str(&key, value)?,
+                "rules.determinism-taint.entries" => {
+                    config.taint_entries = expect_list(&key, value)?;
+                }
+                "rules.determinism-taint.exempt" => {
+                    config.taint_exempt = expect_list(&key, value)?;
+                }
+                "rules.determinism-taint.stream_types" => {
+                    config.stream_types = expect_list(&key, value)?;
+                }
+                "rules.determinism-taint.fork_methods" => {
+                    config.fork_methods = expect_list(&key, value)?;
+                }
+                "rules.determinism-taint.seed_args" => {
+                    config.seed_args = expect_list(&key, value)?;
+                }
+                "rules.determinism-taint.label_args" => {
+                    config.label_args = expect_list(&key, value)?;
+                }
+                "rules.determinism-taint.escape_sinks" => {
+                    config.escape_sinks = expect_list(&key, value)?;
+                }
+                "rules.determinism-taint.tainted_fields" => {
+                    config.tainted_fields = expect_list(&key, value)?;
+                }
                 _ => {
                     if let Some(rule) = key
                         .strip_prefix("rules.")

@@ -27,9 +27,14 @@ pub enum TokKind {
     Ident,
     /// A single punctuation character, or the merged `::` separator.
     Punct,
-    /// A literal (string, char, number). Contents are not retained for
-    /// strings/chars — the token only preserves source structure.
+    /// A number or char literal. Numbers retain their text (the taint
+    /// layer types `0.5` as a float); chars stay empty.
     Literal,
+    /// A string literal. The text is the *content* between the quotes
+    /// (escape sequences verbatim) — the T1 label analysis compares
+    /// constant stream labels, so the content matters here, unlike the
+    /// identifier rules which never match on string tokens.
+    Str,
 }
 
 /// One lexed token.
@@ -39,12 +44,29 @@ pub struct Token {
     pub line: u32,
     /// 1-based source column (byte offset within the line).
     pub col: u32,
-    /// Token text (`""` for string/char literals).
+    /// Token text (`""` for char literals; string content for [`TokKind::Str`]).
     pub text: String,
     /// Token class.
     pub kind: TokKind,
     /// Whether the token sits inside test-gated code.
     pub in_test: bool,
+}
+
+/// A captured `simlint::` line comment — the raw material for inline
+/// suppression directives. Only comments whose trimmed body starts with
+/// `simlint::` are recorded; everything else stays stripped as before.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line of the `//`.
+    pub line: u32,
+    /// 1-based column of the `//`.
+    pub col: u32,
+    /// Comment body after `//`, trimmed.
+    pub text: String,
+    /// Whether code tokens precede the comment on its own line (a
+    /// trailing directive targets its own line; a standalone one targets
+    /// the next code line).
+    pub trailing: bool,
 }
 
 impl Token {
@@ -61,9 +83,16 @@ impl Token {
 
 /// Lexes `source` into tokens and marks test-gated regions.
 pub fn lex(source: &str) -> Vec<Token> {
-    let mut tokens = scan(source);
+    lex_with_comments(source).0
+}
+
+/// Like [`lex`], but also returns the `simlint::` line comments the
+/// suppression layer parses into directives.
+pub fn lex_with_comments(source: &str) -> (Vec<Token>, Vec<Comment>) {
+    let mut comments = Vec::new();
+    let mut tokens = scan(source, &mut comments);
     mark_test_regions(&mut tokens);
-    tokens
+    (tokens, comments)
 }
 
 fn is_ident_start(c: char) -> bool {
@@ -75,10 +104,10 @@ fn is_ident_continue(c: char) -> bool {
 }
 
 /// Raw character scan: comments and literal bodies are consumed, code
-/// tokens are emitted.
-fn scan(source: &str) -> Vec<Token> {
+/// tokens are emitted, `simlint::` line comments are recorded.
+fn scan(source: &str, comments: &mut Vec<Comment>) -> Vec<Token> {
     let chars: Vec<char> = source.chars().collect();
-    let mut tokens = Vec::new();
+    let mut tokens: Vec<Token> = Vec::new();
     let mut i = 0usize;
     let mut line = 1u32;
     let mut col = 1u32;
@@ -110,10 +139,26 @@ fn scan(source: &str) -> Vec<Token> {
             continue;
         }
 
-        // Line comments (//, ///, //!) — skip to end of line.
+        // Line comments (//, ///, //!) — skip to end of line, but keep
+        // `simlint::` directive comments for the suppression layer. A doc
+        // comment's body starts with `/` or `!`, so quoting the grammar in
+        // docs never registers as a directive.
         if c == '/' && next == Some('/') {
+            let (tok_line, tok_col) = (line, col);
+            let mut body = String::new();
+            bump!(2);
             while i < chars.len() && chars[i] != '\n' {
+                body.push(chars[i]);
                 bump!(1);
+            }
+            let body = body.trim();
+            if body.starts_with("simlint::") {
+                comments.push(Comment {
+                    line: tok_line,
+                    col: tok_col,
+                    text: body.to_string(),
+                    trailing: tokens.last().is_some_and(|t| t.line == tok_line),
+                });
             }
             continue;
         }
@@ -150,6 +195,7 @@ fn scan(source: &str) -> Vec<Token> {
                     bump!(1);
                 }
                 bump!(1); // opening quote
+                let mut content = String::new();
                 'raw: while i < chars.len() {
                     if chars[i] == '"' {
                         let mut ok = true;
@@ -164,13 +210,14 @@ fn scan(source: &str) -> Vec<Token> {
                             break 'raw;
                         }
                     }
+                    content.push(chars[i]);
                     bump!(1);
                 }
                 tokens.push(Token {
                     line: tok_line,
                     col: tok_col,
-                    text: String::new(),
-                    kind: TokKind::Literal,
+                    text: content,
+                    kind: TokKind::Str,
                     in_test: false,
                 });
                 continue;
@@ -208,25 +255,32 @@ fn scan(source: &str) -> Vec<Token> {
             continue;
         }
 
-        // Ordinary string literal.
+        // Ordinary string literal. Content is retained (escape sequences
+        // verbatim) so constant rng-stream labels are comparable.
         if c == '"' {
             let (tok_line, tok_col) = (line, col);
+            let mut content = String::new();
             bump!(1);
             while i < chars.len() {
                 if chars[i] == '\\' {
+                    content.push(chars[i]);
+                    if let Some(&esc) = chars.get(i + 1) {
+                        content.push(esc);
+                    }
                     bump!(2);
                 } else if chars[i] == '"' {
                     bump!(1);
                     break;
                 } else {
+                    content.push(chars[i]);
                     bump!(1);
                 }
             }
             tokens.push(Token {
                 line: tok_line,
                 col: tok_col,
-                text: String::new(),
-                kind: TokKind::Literal,
+                text: content,
+                kind: TokKind::Str,
                 in_test: false,
             });
             continue;
@@ -279,22 +333,27 @@ fn scan(source: &str) -> Vec<Token> {
             continue;
         }
 
-        // Numbers: consumed as opaque literals. `1.5e-3` hangs together;
-        // `0..10` must not swallow the range dots.
+        // Numbers: `1.5e-3` hangs together; `0..10` must not swallow the
+        // range dots. The text is retained so the taint layer can type
+        // `0.5` / `1f64` as float literals.
         if c.is_ascii_digit() {
             let (tok_line, tok_col) = (line, col);
+            let mut text = String::new();
             while i < chars.len() {
                 let d = chars[i];
                 if is_ident_continue(d) {
                     let was_exp = d == 'e' || d == 'E';
+                    text.push(d);
                     bump!(1);
                     if was_exp
                         && (chars.get(i) == Some(&'+') || chars.get(i) == Some(&'-'))
                         && chars.get(i + 1).is_some_and(|c| c.is_ascii_digit())
                     {
+                        text.push(chars[i]);
                         bump!(1);
                     }
                 } else if d == '.' && chars.get(i + 1).is_some_and(|c| c.is_ascii_digit()) {
+                    text.push(d);
                     bump!(1);
                 } else {
                     break;
@@ -303,7 +362,7 @@ fn scan(source: &str) -> Vec<Token> {
             tokens.push(Token {
                 line: tok_line,
                 col: tok_col,
-                text: String::new(),
+                text,
                 kind: TokKind::Literal,
                 in_test: false,
             });
@@ -580,5 +639,42 @@ mod tests {
         let toks = lex("for i in 0..10 { x(1.5e-3); }");
         assert!(toks.iter().any(|t| t.is_punct(".")));
         assert!(idents(&toks).iter().any(|(t, _)| *t == "x"));
+        // Float literal text survives for the taint layer.
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Literal && t.text == "1.5e-3"));
+    }
+
+    #[test]
+    fn string_content_is_retained_but_not_an_ident() {
+        let toks = lex("named(seed, \"task/alpha\"); let r = r#\"raw/label\"#;");
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, vec!["task/alpha", "raw/label"]);
+        assert!(!idents(&toks).iter().any(|(t, _)| t.contains("task")));
+    }
+
+    #[test]
+    fn simlint_directive_comments_are_captured() {
+        let src = "\
+fn f() {\n    // simlint::allow(T1/rng-stream-aliasing): label embeds the task id\n    let x = 1; // simlint::allow(D1/hash-collections): scratch only\n    // an ordinary comment mentioning simlint stays stripped\n}";
+        let (_, comments) = lex_with_comments(src);
+        assert_eq!(comments.len(), 2);
+        assert!(!comments[0].trailing);
+        assert_eq!(comments[0].line, 2);
+        assert!(comments[0].text.starts_with("simlint::allow(T1"));
+        assert!(comments[1].trailing);
+        assert_eq!(comments[1].line, 3);
+    }
+
+    #[test]
+    fn doc_comments_quoting_the_grammar_are_not_directives() {
+        let (_, comments) = lex_with_comments(
+            "/// use `// simlint::allow(<rule>): <reason>` to suppress\nfn f() {}",
+        );
+        assert!(comments.is_empty());
     }
 }

@@ -16,6 +16,15 @@
 //! the sharded core's "no shared mutation off the serial phases"
 //! contract a static gate instead of a runtime hope.
 //!
+//! Above the call graph sits the value-flow tier: statement-level
+//! def-use extraction ([`dataflow`]) and the interprocedural
+//! determinism-taint analysis ([`taint`]) behind the T-rules — rng
+//! stream-label aliasing, draws escaping the compute phase, unordered
+//! float reductions, and seed provenance. File-local policy exceptions
+//! are inline `// simlint::allow(<rule>): <reason>` comments
+//! ([`suppress`]); workspace policy lives in `simlint.toml` at the
+//! workspace root ([`config`]).
+//!
 //! Run it over the workspace (the CI gate):
 //!
 //! ```text
@@ -23,26 +32,31 @@
 //! ```
 //!
 //! Exit code 0 means a clean tree; any finding exits 1 and prints
-//! GCC-style `path:line:col: [code] message` diagnostics. Intentional
-//! exceptions live in `simlint.toml` at the workspace root ([`config`]),
-//! never inline — see ARCHITECTURE.md § "Static analysis & determinism
-//! discipline" for the rule catalog and the allowlist policy.
+//! GCC-style `path:line:col: [code] message` diagnostics (`--format
+//! json` and `--format sarif` render the same findings for the baseline
+//! diff and for CI annotation upload). See ARCHITECTURE.md § "Static
+//! analysis & determinism discipline" for the rule catalog and the
+//! exception policy.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod callgraph;
 pub mod config;
+pub mod dataflow;
 pub mod diag;
 pub mod lexer;
 pub mod parser;
 pub mod purity;
 pub mod rules;
+pub mod suppress;
 pub mod symbols;
+pub mod taint;
 pub mod walk;
 
 pub use config::{Config, ConfigError};
-pub use diag::{render_json, Finding};
+pub use diag::{render_json, render_sarif, Finding};
 pub use purity::{analyze_sources, GraphStats};
 pub use rules::{lint_file, FileContext};
-pub use walk::{find_workspace_root, lint_workspace, ScanReport};
+pub use taint::{function_summaries, TaintSummary, DRAWN, FLOATY, STREAM};
+pub use walk::{find_workspace_root, lint_sources, lint_workspace, ScanReport};

@@ -3,23 +3,27 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use simdc_simlint::{find_workspace_root, lint_workspace, render_json, Config};
+use simdc_simlint::{find_workspace_root, lint_workspace, render_json, render_sarif, Config};
 
-const USAGE: &str = "usage: simlint --workspace [--root DIR] [--config FILE] [--format FMT]
+const USAGE: &str =
+    "usage: simlint --workspace [--root DIR] [--config FILE] [--format FMT] [--write-baseline]
 
 Lints the SimDC workspace for determinism & invariant violations.
-  --workspace     scan the whole workspace (required; explicit by design)
-  --root DIR      workspace root (default: walk up from the current dir)
-  --config FILE   simlint.toml to use (default: <root>/simlint.toml)
-  --format FMT    `text` (default) or `json` — json prints the findings
-                  document to stdout (the summary goes to stderr) for CI
-                  archiving and baseline diffing";
+  --workspace        scan the whole workspace (required; explicit by design)
+  --root DIR         workspace root (default: walk up from the current dir)
+  --config FILE      simlint.toml to use (default: <root>/simlint.toml)
+  --format FMT       `text` (default), `json` or `sarif` — machine formats
+                     print the findings document to stdout (the summary
+                     goes to stderr) for CI archiving and baseline diffing
+  --write-baseline   atomically regenerate <root>/simlint-baseline.json
+                     from this scan (exit code still reflects findings)";
 
 /// Diagnostic output formats.
 #[derive(PartialEq)]
 enum Format {
     Text,
     Json,
+    Sarif,
 }
 
 fn main() -> ExitCode {
@@ -27,10 +31,12 @@ fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut config_path: Option<PathBuf> = None;
     let mut format = Format::Text;
+    let mut write_baseline = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--workspace" => workspace = true,
+            "--write-baseline" => write_baseline = true,
             "--root" => match args.next() {
                 Some(v) => root = Some(PathBuf::from(v)),
                 None => return usage_error("--root needs a value"),
@@ -42,8 +48,9 @@ fn main() -> ExitCode {
             "--format" => match args.next().as_deref() {
                 Some("text") => format = Format::Text,
                 Some("json") => format = Format::Json,
+                Some("sarif") => format = Format::Sarif,
                 Some(other) => {
-                    return usage_error(&format!("unknown format `{other}` (text|json)"))
+                    return usage_error(&format!("unknown format `{other}` (text|json|sarif)"))
                 }
                 None => return usage_error("--format needs a value"),
             },
@@ -90,6 +97,20 @@ fn main() -> ExitCode {
         Ok(r) => r,
         Err(e) => return fatal(&e),
     };
+    if write_baseline {
+        // Temp-file + rename so a concurrent reader (or an interrupt)
+        // never observes a torn baseline.
+        let target = root.join("simlint-baseline.json");
+        let tmp = root.join("simlint-baseline.json.tmp");
+        let doc = render_json(&report.findings);
+        if let Err(e) = std::fs::write(&tmp, doc) {
+            return fatal(&format!("write {}: {e}", tmp.display()));
+        }
+        if let Err(e) = std::fs::rename(&tmp, &target) {
+            return fatal(&format!("rename to {}: {e}", target.display()));
+        }
+        eprintln!("simlint: baseline written to {}", target.display());
+    }
     let summary = if report.findings.is_empty() {
         format!(
             "simlint: clean ({} files scanned; call graph: {} fns, {} edges)",
@@ -114,10 +135,14 @@ fn main() -> ExitCode {
             }
             println!("{summary}");
         }
-        Format::Json => {
-            // Findings document to stdout (redirectable to simlint.json),
-            // human summary to stderr.
-            print!("{}", render_json(&report.findings));
+        Format::Json | Format::Sarif => {
+            // Findings document to stdout (redirectable to simlint.json /
+            // simlint.sarif), human summary to stderr.
+            let doc = match format {
+                Format::Json => render_json(&report.findings),
+                _ => render_sarif(&report.findings),
+            };
+            print!("{doc}");
             eprintln!("{summary}");
         }
     }

@@ -23,6 +23,7 @@
 //! Test-gated tokens (`in_test`) are skipped wholesale: the purity rules
 //! police simulation code, not its tests.
 
+use crate::dataflow::{extract_body, ArgInfo, Flow, LoopSpan, Sources};
 use crate::lexer::{lex, TokKind, Token};
 
 /// Everything the symbol table needs from one source file.
@@ -62,10 +63,19 @@ pub struct FnDef {
     /// and simple `where S: Trait` clauses.
     pub bounds: Vec<(String, Vec<String>)>,
     /// Local binding name → type head: the params plus every `let`
-    /// whose annotation or `Type::ctor(..)` initialiser reveals a type.
+    /// whose annotation, `Type::ctor(..)` initialiser, float literal or
+    /// `as f32/f64` cast reveals a type.
     pub locals: std::collections::BTreeMap<String, String>,
     /// Every call site in the body, in source order.
     pub calls: Vec<CallSite>,
+    /// The return type's head, if annotated.
+    pub ret_type: Option<String>,
+    /// Every `let` initialiser and assignment, in source order.
+    pub flows: Vec<Flow>,
+    /// The sources of every `return` statement plus the tail expression.
+    pub rets: Vec<Sources>,
+    /// Every `for` loop, in source order.
+    pub loops: Vec<LoopSpan>,
 }
 
 impl FnDef {
@@ -114,6 +124,16 @@ pub struct CallSite {
     pub col: u32,
     /// What is being called, and how.
     pub callee: Callee,
+    /// Token index of the callee name (for span-containment tests).
+    pub tok: usize,
+    /// Per-argument sources and constant-string shapes.
+    pub args: Vec<ArgInfo>,
+    /// The `::<T>` turbofish type head, if present (`f64` in
+    /// `.sum::<f64>()`).
+    pub turbofish: Option<String>,
+    /// For method calls: the base of the dot-chain (`weights` in
+    /// `self.weights.values().sum()`), as far as tokens reveal it.
+    pub base: Option<Receiver>,
 }
 
 impl CallSite {
@@ -154,7 +174,7 @@ pub enum Callee {
 }
 
 /// A method call's receiver, as much as the token stream reveals.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum Receiver {
     /// `self.method(..)`.
     SelfValue,
@@ -168,7 +188,8 @@ pub enum Receiver {
 }
 
 impl Receiver {
-    fn last_ident(&self) -> Option<&str> {
+    /// The identifier just before the dot, if any.
+    pub fn last_ident(&self) -> Option<&str> {
         match self {
             Receiver::SelfValue => Some("self"),
             Receiver::SelfField(f) => Some(f),
@@ -179,7 +200,7 @@ impl Receiver {
 }
 
 /// Rust keywords that look like call names when followed by `(`.
-const KEYWORDS: &[&str] = &[
+pub(crate) const KEYWORDS: &[&str] = &[
     "if", "else", "while", "for", "loop", "match", "return", "break", "continue", "in", "move",
     "ref", "mut", "let", "fn", "impl", "dyn", "as", "where", "pub", "use", "mod", "struct", "enum",
     "trait", "const", "static", "type", "unsafe", "extern", "crate", "super", "self", "Self",
@@ -245,7 +266,7 @@ fn parse_items(
 }
 
 /// Finds the index of the `}` matching the `{` at `open`.
-fn match_brace(tokens: &[Token], open: usize, end: usize) -> usize {
+pub(crate) fn match_brace(tokens: &[Token], open: usize, end: usize) -> usize {
     let mut depth = 0isize;
     let mut i = open;
     while i < end {
@@ -264,7 +285,7 @@ fn match_brace(tokens: &[Token], open: usize, end: usize) -> usize {
 
 /// Skips a balanced `<…>` generic-argument list starting at `i` (which
 /// must point at `<`); returns the index just past the closing `>`.
-fn skip_angles(tokens: &[Token], i: usize, end: usize) -> usize {
+pub(crate) fn skip_angles(tokens: &[Token], i: usize, end: usize) -> usize {
     let mut depth = 0isize;
     let mut j = i;
     while j < end {
@@ -287,7 +308,11 @@ fn skip_angles(tokens: &[Token], i: usize, end: usize) -> usize {
 /// Reads a type path starting at `i`, returning `(head, next_index)`.
 /// The head is the last path segment before any `<…>` arguments;
 /// references, `mut`, `dyn`, `impl` and slice brackets are skipped.
-fn read_type_head(tokens: &[Token], mut i: usize, end: usize) -> (Option<String>, usize) {
+pub(crate) fn read_type_head(
+    tokens: &[Token],
+    mut i: usize,
+    end: usize,
+) -> (Option<String>, usize) {
     while i < end
         && (tokens[i].is_punct("&")
             || tokens[i].is_punct("*")
@@ -522,6 +547,10 @@ fn parse_fn(
         bounds: Vec::new(),
         locals: std::collections::BTreeMap::new(),
         calls: Vec::new(),
+        ret_type: None,
+        flows: Vec::new(),
+        rets: Vec::new(),
+        loops: Vec::new(),
     };
     let mut i = at + 2;
     if i < end && tokens[i].is_punct("<") {
@@ -536,11 +565,19 @@ fn parse_fn(
         i = params_end + 1;
     }
     // Return type and where clause: scan to the body `{` or `;`,
-    // picking up simple `where S: Trait` bounds on the way.
+    // picking up the `-> Type` head and simple `where S: Trait` bounds
+    // on the way.
     let mut j = i;
     while j < end && !tokens[j].is_punct("{") && !tokens[j].is_punct(";") {
         if tokens[j].is_ident("where") {
             parse_bounds(tokens, j + 1, body_or_semi(tokens, j + 1, end), &mut def);
+        }
+        if def.ret_type.is_none()
+            && tokens[j].is_punct("-")
+            && tokens.get(j + 1).is_some_and(|t| t.is_punct(">"))
+        {
+            let (head, _) = read_type_head(tokens, j + 2, body_or_semi(tokens, j + 2, end));
+            def.ret_type = head;
         }
         j += 1;
     }
@@ -554,7 +591,7 @@ fn parse_fn(
         return j + 1;
     }
     let close = match_brace(tokens, j, end);
-    extract_calls(tokens, j + 1, close, &mut def);
+    extract_body(tokens, j + 1, close, &mut def);
     out.fns.push(def);
     close + 1
 }
@@ -569,7 +606,7 @@ fn body_or_semi(tokens: &[Token], i: usize, end: usize) -> usize {
 }
 
 /// Finds the index of the `)` matching the `(` at `open`.
-fn match_paren(tokens: &[Token], open: usize, end: usize) -> usize {
+pub(crate) fn match_paren(tokens: &[Token], open: usize, end: usize) -> usize {
     let mut depth = 0isize;
     let mut i = open;
     while i < end {
@@ -668,86 +705,39 @@ fn parse_params(tokens: &[Token], start: usize, end: usize, def: &mut FnDef) {
 }
 
 /// Parses one `pattern: Type` parameter into a `(name, type)` entry.
+/// Parameters that resist parsing (destructuring patterns, untyped
+/// heads) get an anonymous placeholder so the parameter *indices* stay
+/// aligned with call-site argument positions — the taint summaries
+/// depend on that alignment. `self` receivers are skipped outright,
+/// since argument lists do not carry them.
 fn parse_one_param(tokens: &[Token], start: usize, end: usize, def: &mut FnDef) {
     let mut i = start;
     while i < end && (tokens[i].is_punct("&") || tokens[i].is_ident("mut")) {
         i += 1;
     }
-    if i >= end || tokens[i].kind != TokKind::Ident || tokens[i].is_ident("self") {
+    if i >= end {
         return;
     }
-    let name = tokens[i].text.clone();
-    if !tokens.get(i + 1).is_some_and(|t| t.is_punct(":")) {
+    if tokens[i].is_ident("self") {
         return;
     }
-    let (head, _) = read_type_head(tokens, i + 2, end);
-    if let Some(head) = head {
-        def.params.push((name, head));
-    }
-}
-
-/// Extracts call sites (and `let`-binding types) from a function body.
-fn extract_calls(tokens: &[Token], start: usize, end: usize, def: &mut FnDef) {
-    // Local type environment: params seed it, `let` bindings extend it.
-    // One flat map — shadowing scopes don't matter at this granularity.
-    def.locals = def.params.iter().cloned().collect();
-    let mut i = start;
-    while i < end {
-        let t = &tokens[i];
-        // `let [mut] name …` — record the binding's type head when the
-        // annotation or a `Type::ctor(..)` initialiser reveals it.
-        if t.is_ident("let") {
-            let mut j = i + 1;
-            if j < end && tokens[j].is_ident("mut") {
-                j += 1;
-            }
-            if j < end
-                && tokens[j].kind == TokKind::Ident
-                && !KEYWORDS.contains(&tokens[j].text.as_str())
-            {
-                let name = tokens[j].text.clone();
-                if tokens.get(j + 1).is_some_and(|t| t.is_punct(":")) {
-                    let (head, _) = read_type_head(tokens, j + 2, end);
-                    if let Some(head) = head {
-                        def.locals.insert(name, head);
-                    }
-                } else if tokens.get(j + 1).is_some_and(|t| t.is_punct("=")) {
-                    if let Some(head) = ctor_type_head(tokens, j + 2, end) {
-                        def.locals.insert(name, head);
-                    }
-                }
-            }
-            i += 1;
-            continue;
+    if tokens[i].kind == TokKind::Ident
+        && !KEYWORDS.contains(&tokens[i].text.as_str())
+        && tokens.get(i + 1).is_some_and(|t| t.is_punct(":"))
+    {
+        let name = tokens[i].text.clone();
+        let (head, _) = read_type_head(tokens, i + 2, end);
+        if let Some(head) = head {
+            def.params.push((name, head));
+            return;
         }
-        // A call: identifier followed by `(`, not preceded by `fn`.
-        if t.kind == TokKind::Ident
-            && !KEYWORDS.contains(&t.text.as_str())
-            && tokens.get(i + 1).is_some_and(|n| n.is_punct("("))
-        {
-            let prev = i.checked_sub(1).map(|p| &tokens[p]);
-            let callee = match prev {
-                Some(p) if p.is_punct(".") => Some(method_callee(tokens, i)),
-                Some(p) if p.is_punct("::") => Some(path_callee(tokens, i)),
-                Some(p) if p.is_ident("fn") => None,
-                Some(p) if p.is_punct("!") => None, // macro bang — not a call
-                _ => Some(Callee::Free(t.text.clone())),
-            };
-            if let Some(callee) = callee {
-                def.calls.push(CallSite {
-                    line: t.line,
-                    col: t.col,
-                    callee,
-                });
-            }
-        }
-        i += 1;
     }
+    def.params.push(("_".to_string(), String::new()));
 }
 
 /// For `let x = Vec::with_capacity(..)`-style initialisers: the type
 /// head (`Vec`) if the RHS starts with an uppercase path.
-fn ctor_type_head(tokens: &[Token], i: usize, end: usize) -> Option<String> {
+pub(crate) fn ctor_type_head(tokens: &[Token], i: usize, end: usize) -> Option<String> {
     let t = tokens.get(i).filter(|t| t.kind == TokKind::Ident)?;
     if i >= end || !t.text.chars().next().is_some_and(char::is_uppercase) {
         return None;
@@ -773,7 +763,7 @@ fn ctor_type_head(tokens: &[Token], i: usize, end: usize) -> Option<String> {
 }
 
 /// Builds a `Callee::Method` for the name token at `i` (preceded by `.`).
-fn method_callee(tokens: &[Token], i: usize) -> Callee {
+pub(crate) fn method_callee(tokens: &[Token], i: usize) -> Callee {
     let name = tokens[i].text.clone();
     // Walk the receiver chain left of the dot: `ident (. ident)*`.
     let dot = i - 1;
@@ -807,7 +797,7 @@ fn method_callee(tokens: &[Token], i: usize) -> Callee {
 }
 
 /// Builds a `Callee::Path` for the name token at `i` (preceded by `::`).
-fn path_callee(tokens: &[Token], i: usize) -> Callee {
+pub(crate) fn path_callee(tokens: &[Token], i: usize) -> Callee {
     let mut segs: Vec<String> = vec![tokens[i].text.clone()];
     let mut j = i - 1; // at `::`
     while tokens[j].is_punct("::") {

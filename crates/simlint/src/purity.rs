@@ -31,8 +31,9 @@ use crate::diag::Finding;
 use crate::parser::parse_file;
 use crate::symbols::{FnId, SymbolTable};
 
-/// Iteration methods policed by P3 on unordered receiver types.
-const ITER_METHODS: &[&str] = &[
+/// Iteration methods policed by P3 (and T3's loop-head detection) on
+/// unordered receiver types.
+pub(crate) const ITER_METHODS: &[&str] = &[
     "drain",
     "into_iter",
     "iter",
@@ -56,9 +57,9 @@ pub struct GraphStats {
 }
 
 /// A `Type::method` / `file.rs::name` / bare-name function spec, as
-/// used by `entries` and `exempt`.
+/// used by `entries` and `exempt` (both the P- and T-rule sections).
 #[derive(Debug)]
-struct FnSpec {
+pub(crate) struct FnSpec {
     raw: String,
     file: Option<String>,
     owner: Option<String>,
@@ -109,9 +110,10 @@ impl FnSpec {
     }
 }
 
-/// One parsed mutation-sink pattern.
+/// One parsed mutation-sink pattern (shared with the T2 escape-sink
+/// matching in [`crate::taint`]).
 #[derive(Debug)]
-enum SinkSpec {
+pub(crate) enum SinkSpec {
     /// `Type::method` — matches by resolved receiver type or target.
     Typed(String, String),
     /// `recv.method` — matches by the raw receiver identifier.
@@ -123,7 +125,7 @@ enum SinkSpec {
 }
 
 impl SinkSpec {
-    fn parse(raw: &str) -> SinkSpec {
+    pub(crate) fn parse(raw: &str) -> SinkSpec {
         if let Some((ty, m)) = raw.split_once("::") {
             return SinkSpec::Typed(ty.to_string(), m.to_string());
         }
@@ -138,7 +140,11 @@ impl SinkSpec {
 
     /// Whether `call` (resolved, in `graph`) hits this sink. Returns a
     /// display name for the matched sink.
-    fn matches(&self, graph: &CallGraph, call: &crate::callgraph::ResolvedCall) -> Option<String> {
+    pub(crate) fn matches(
+        &self,
+        graph: &CallGraph,
+        call: &crate::callgraph::ResolvedCall,
+    ) -> Option<String> {
         match self {
             SinkSpec::Typed(ty, m) => {
                 if call.name != *m {
@@ -164,18 +170,40 @@ impl SinkSpec {
 }
 
 /// Matches a `Name` / `Prefix*` type pattern.
-fn type_pat_match(pat: &str, ty: &str) -> bool {
+pub(crate) fn type_pat_match(pat: &str, ty: &str) -> bool {
     match pat.strip_suffix('*') {
         Some(prefix) => ty.starts_with(prefix),
         None => ty == pat,
     }
 }
 
-/// Runs the workspace-level analysis over already-loaded sources.
+/// Runs the workspace-level analysis over already-loaded sources, then
+/// applies inline `simlint::allow` suppressions (leniently — the full
+/// pipeline in [`crate::walk`] hard-errors on malformed directives and
+/// reports unused ones; this entry point serves tests and callers that
+/// only want the surviving findings).
 ///
 /// `files` are `(workspace-relative path, source)` pairs in scan order;
 /// the same call serves the CLI walk and the in-memory test harness.
 pub fn analyze_sources(files: &[(String, String)], cfg: &Config) -> (Vec<Finding>, GraphStats) {
+    let (findings, stats) = workspace_findings(files, cfg);
+    let mut directives = Vec::new();
+    for (path, source) in files {
+        let (tokens, comments) = crate::lexer::lex_with_comments(source);
+        directives.extend(crate::suppress::parse_directives_lenient(
+            path, &comments, &tokens,
+        ));
+    }
+    let (kept, _) = crate::suppress::filter_suppressed(&directives, findings);
+    (kept, stats)
+}
+
+/// The unsuppressed workspace-analysis findings: symbol table, call
+/// graph, P-rules, T-rules, typed D3 leases and stale-config checks.
+pub(crate) fn workspace_findings(
+    files: &[(String, String)],
+    cfg: &Config,
+) -> (Vec<Finding>, GraphStats) {
     let parsed = files
         .iter()
         .map(|(path, source)| parse_file(path, source))
@@ -190,14 +218,19 @@ pub fn analyze_sources(files: &[(String, String)], cfg: &Config) -> (Vec<Finding
     check_purity(&graph, cfg, &mut findings);
     check_spawners(&graph, cfg, &mut findings);
     check_typed_leases(&graph, cfg, &mut findings);
+    check_stale_lease_types(&graph.symbols, cfg, &mut findings);
+    crate::taint::check_taint(&graph, cfg, &mut findings);
     (findings, stats)
 }
 
-/// Resolves a spec list against the table, reporting unmatched specs.
-fn resolve_specs(
+/// Resolves a spec list against the table, reporting unmatched specs
+/// under the given rule `code` and config `section`.
+pub(crate) fn resolve_specs(
     symbols: &SymbolTable,
     raws: &[String],
     kind: &str,
+    section: &str,
+    code: &'static str,
     findings: &mut Vec<Finding>,
 ) -> Vec<(FnSpec, Vec<FnId>)> {
     let mut out = Vec::new();
@@ -211,9 +244,9 @@ fn resolve_specs(
                 path: "simlint.toml".into(),
                 line: 1,
                 col: 1,
-                code: "P0/unresolved-config",
+                code,
                 message: format!(
-                    "[rules.worker-purity] {kind} `{}` matches no function in the \
+                    "[{section}] {kind} `{}` matches no function in the \
                      workspace — fix the spec or remove the stale entry",
                     spec.raw
                 ),
@@ -224,14 +257,53 @@ fn resolve_specs(
     out
 }
 
+/// Stale-config check for `[rules.freeze-release] types`: a lease type
+/// that names no type in the workspace is a gate that silently does
+/// nothing. Only checked once the workspace has actually configured the
+/// rule (non-empty `callers`) — the built-in default type list must not
+/// trip projects that never opted in.
+fn check_stale_lease_types(symbols: &SymbolTable, cfg: &Config, findings: &mut Vec<Finding>) {
+    if cfg.lease_callers.is_empty() {
+        return;
+    }
+    for ty in &cfg.lease_types {
+        if !symbols.types.contains(ty) {
+            findings.push(Finding {
+                path: "simlint.toml".into(),
+                line: 1,
+                col: 1,
+                code: "P0/unresolved-config",
+                message: format!(
+                    "[rules.freeze-release] types `{ty}` matches no type in the \
+                     workspace — fix the spec or remove the stale entry"
+                ),
+            });
+        }
+    }
+}
+
 /// P1/P2/P3: the reachability walk and per-call sink checks.
 fn check_purity(graph: &CallGraph, cfg: &Config, findings: &mut Vec<Finding>) {
     if cfg.purity_entries.is_empty() {
         return;
     }
     let symbols = &graph.symbols;
-    let entries = resolve_specs(symbols, &cfg.purity_entries, "entry", findings);
-    let exempts = resolve_specs(symbols, &cfg.purity_exempt, "exempt", findings);
+    let entries = resolve_specs(
+        symbols,
+        &cfg.purity_entries,
+        "entry",
+        "rules.worker-purity",
+        "P0/unresolved-config",
+        findings,
+    );
+    let exempts = resolve_specs(
+        symbols,
+        &cfg.purity_exempt,
+        "exempt",
+        "rules.worker-purity",
+        "P0/unresolved-config",
+        findings,
+    );
     let exempt_ids: BTreeSet<FnId> = exempts.iter().flat_map(|(_, ids)| ids.clone()).collect();
     let sinks: Vec<SinkSpec> = cfg
         .mutation_sinks
@@ -356,8 +428,12 @@ fn check_purity(graph: &CallGraph, cfg: &Config, findings: &mut Vec<Finding>) {
     }
 }
 
-/// The `entry → … → fn` chain for diagnostics.
-fn path_to(symbols: &SymbolTable, preds: &BTreeMap<FnId, Option<FnId>>, id: FnId) -> String {
+/// The `entry → … → fn` chain for diagnostics (shared with the T-rules).
+pub(crate) fn path_to(
+    symbols: &SymbolTable,
+    preds: &BTreeMap<FnId, Option<FnId>>,
+    id: FnId,
+) -> String {
     let mut chain = vec![id];
     let mut cur = id;
     while let Some(Some(parent)) = preds.get(&cur) {
@@ -531,6 +607,31 @@ mod tests {
         }
         assert!(findings.iter().any(|f| f.contains("entry `Ghost::entry`")));
         assert!(findings.iter().any(|f| f.contains("exempt `Ghost::*`")));
+    }
+
+    #[test]
+    fn stale_lease_type_is_a_hard_finding_once_the_rule_is_configured() {
+        let cfg = Config {
+            lease_callers: vec!["W::entry".into()],
+            lease_types: vec!["GhostLease".into()],
+            ..Config::default()
+        };
+        let findings = run(CHAIN, &cfg);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(
+            findings[0].starts_with("simlint.toml:1:1: [P0/unresolved-config]")
+                && findings[0].contains("[rules.freeze-release] types `GhostLease`"),
+            "{}",
+            findings[0]
+        );
+    }
+
+    #[test]
+    fn default_lease_types_do_not_trip_unconfigured_projects() {
+        // `lease_callers` empty → the built-in default type list must
+        // stay silent even though none of its names exist here.
+        let findings = run(CHAIN, &Config::default());
+        assert_eq!(findings, Vec::<String>::new());
     }
 
     #[test]

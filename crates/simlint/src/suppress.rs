@@ -1,0 +1,284 @@
+//! Inline suppression directives.
+//!
+//! A finding can be waived exactly where it fires with a line comment:
+//!
+//! ```text
+//! // simlint::allow(<rule>): <reason>
+//! ```
+//!
+//! * `<rule>` is a full rule code (`T1/rng-stream-aliasing`, not `T1`) —
+//!   an unknown code is a hard error (exit 2), so a typo can never
+//!   silently widen the waiver.
+//! * `<reason>` is mandatory: the comment is the review record for the
+//!   exception, and an empty reason is a hard error.
+//! * A trailing directive suppresses findings on its own line; a
+//!   standalone directive suppresses the next code line (stacked
+//!   directives and blank lines in between are fine — each targets the
+//!   first following line that carries code).
+//! * A directive that matches no finding is itself a finding
+//!   (`S1/unused-suppression`), so stale waivers cannot rot in place.
+//!
+//! Only `simlint::allow` exists; any other `simlint::…` comment is a
+//! hard error rather than a silently ignored near-miss.
+
+use crate::diag::Finding;
+use crate::lexer::{Comment, Token};
+
+/// Every rule code a directive may name. `S1/unused-suppression` is
+/// deliberately absent: suppressing the unused-suppression rule would
+/// let dead waivers accumulate, which is the one thing it exists to
+/// prevent.
+pub const RULE_CODES: &[&str] = &[
+    "D1/hash-collections",
+    "D2/wall-clock",
+    "D2/ambient-entropy",
+    "D3/task-state",
+    "D3/freeze-release",
+    "D4/lint-gates",
+    "D4/unwrap-in-lib",
+    "D4/pub-docs",
+    "P0/unresolved-config",
+    "P1/shared-mutation",
+    "P2/interior-mutability",
+    "P3/unordered-iteration",
+    "P4/unregistered-spawner",
+    "T0/unresolved-config",
+    "T1/rng-stream-aliasing",
+    "T2/rng-escape",
+    "T3/unordered-float-reduction",
+    "T4/seed-provenance",
+];
+
+/// A parsed, target-resolved suppression directive.
+#[derive(Debug, Clone)]
+pub struct Directive {
+    /// Workspace-relative path of the file the directive sits in.
+    pub path: String,
+    /// 1-based line of the comment itself.
+    pub line: u32,
+    /// 1-based column of the comment itself.
+    pub col: u32,
+    /// The full rule code being waived.
+    pub rule: String,
+    /// The reviewer-facing justification.
+    pub reason: String,
+    /// The code line whose findings the directive suppresses.
+    pub target: u32,
+}
+
+/// Parses one file's captured `simlint::` comments into directives.
+/// Malformed directives are hard errors — the returned message carries
+/// the file position, ready for the CLI's exit-2 path.
+pub fn parse_directives(
+    path: &str,
+    comments: &[Comment],
+    tokens: &[Token],
+) -> Result<Vec<Directive>, String> {
+    let mut out = Vec::new();
+    for c in comments {
+        match parse_one(c, tokens) {
+            Ok(d) => out.push(Directive {
+                path: path.to_string(),
+                ..d
+            }),
+            Err(msg) => {
+                return Err(format!(
+                    "{path}:{}:{}: malformed simlint directive: {msg}",
+                    c.line, c.col
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Like [`parse_directives`], but drops malformed directives instead of
+/// failing. Used by the analysis-only entry point
+/// ([`crate::analyze_sources`]) where the full pipeline (which *does*
+/// hard-error) has already vetted the tree, or where tests feed sources
+/// directly.
+pub fn parse_directives_lenient(
+    path: &str,
+    comments: &[Comment],
+    tokens: &[Token],
+) -> Vec<Directive> {
+    comments
+        .iter()
+        .filter_map(|c| parse_one(c, tokens).ok())
+        .map(|d| Directive {
+            path: path.to_string(),
+            ..d
+        })
+        .collect()
+}
+
+fn parse_one(c: &Comment, tokens: &[Token]) -> Result<Directive, String> {
+    let rest = c.text.strip_prefix("simlint::allow").ok_or_else(|| {
+        format!(
+            "unknown directive `{}` (only `simlint::allow(<rule>): <reason>` is recognized)",
+            c.text
+        )
+    })?;
+    let rest = rest.trim_start();
+    let rest = rest
+        .strip_prefix('(')
+        .ok_or("expected `(` after `simlint::allow`")?;
+    let close = rest
+        .find(')')
+        .ok_or("unterminated rule code (missing `)`)")?;
+    let rule = rest[..close].trim();
+    if !RULE_CODES.contains(&rule) {
+        return Err(format!(
+            "unknown rule code `{rule}` (use the full code, e.g. `T1/rng-stream-aliasing`)"
+        ));
+    }
+    let after = rest[close + 1..].trim_start();
+    let reason = after
+        .strip_prefix(':')
+        .map(str::trim)
+        .ok_or("missing `: <reason>` — every suppression must say why")?;
+    if reason.is_empty() {
+        return Err("empty reason — every suppression must say why".to_string());
+    }
+    let target = if c.trailing {
+        c.line
+    } else {
+        tokens
+            .iter()
+            .find(|t| t.line > c.line)
+            .map(|t| t.line)
+            // No code follows: target the directive's own line, which can
+            // match nothing, so the unused-suppression rule reports it.
+            .unwrap_or(c.line)
+    };
+    Ok(Directive {
+        path: String::new(),
+        line: c.line,
+        col: c.col,
+        rule: rule.to_string(),
+        reason: reason.to_string(),
+        target,
+    })
+}
+
+/// Applies directives to a finding set: findings matched by a directive
+/// (same file, target line, and rule code) are removed. Returns the kept
+/// findings plus a per-directive used flag, in directive order.
+pub fn filter_suppressed(
+    directives: &[Directive],
+    findings: Vec<Finding>,
+) -> (Vec<Finding>, Vec<bool>) {
+    let mut used = vec![false; directives.len()];
+    let kept = findings
+        .into_iter()
+        .filter(|f| {
+            let mut suppressed = false;
+            for (i, d) in directives.iter().enumerate() {
+                if d.path == f.path && d.target == f.line && d.rule == f.code {
+                    used[i] = true;
+                    suppressed = true;
+                }
+            }
+            !suppressed
+        })
+        .collect();
+    (kept, used)
+}
+
+/// The `S1/unused-suppression` finding for a directive that matched
+/// nothing.
+pub fn unused_finding(d: &Directive) -> Finding {
+    Finding {
+        path: d.path.clone(),
+        line: d.line,
+        col: d.col,
+        code: "S1/unused-suppression",
+        message: format!(
+            "suppression `simlint::allow({})` matched no finding on line {} — remove it, or fix the rule code it should waive",
+            d.rule, d.target
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex_with_comments;
+
+    fn parse(src: &str) -> Result<Vec<Directive>, String> {
+        let (tokens, comments) = lex_with_comments(src);
+        parse_directives("crates/demo/src/lib.rs", &comments, &tokens)
+    }
+
+    #[test]
+    fn trailing_directive_targets_its_own_line() {
+        let ds =
+            parse("fn f() {\n    let x = 1; // simlint::allow(D1/hash-collections): scratch\n}")
+                .expect("parses");
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].target, 2);
+        assert_eq!(ds[0].rule, "D1/hash-collections");
+        assert_eq!(ds[0].reason, "scratch");
+    }
+
+    #[test]
+    fn standalone_directive_targets_the_next_code_line_across_blanks() {
+        let src = "fn f() {\n    // simlint::allow(T4/seed-provenance): replay harness reseeds\n    // simlint::allow(T1/rng-stream-aliasing): label is unique\n\n    let x = 1;\n}";
+        let ds = parse(src).expect("parses");
+        assert_eq!(ds.len(), 2);
+        // Both stacked directives land on the first following code line.
+        assert_eq!(ds[0].target, 5);
+        assert_eq!(ds[1].target, 5);
+    }
+
+    #[test]
+    fn unknown_rule_code_is_a_hard_error() {
+        let err = parse("// simlint::allow(T9/bogus): nope\nfn f() {}").unwrap_err();
+        assert!(err.contains("unknown rule code `T9/bogus`"), "{err}");
+        assert!(err.starts_with("crates/demo/src/lib.rs:1:1:"), "{err}");
+    }
+
+    #[test]
+    fn short_rule_codes_are_rejected() {
+        let err = parse("// simlint::allow(T1): terse\nfn f() {}").unwrap_err();
+        assert!(err.contains("unknown rule code `T1`"), "{err}");
+    }
+
+    #[test]
+    fn missing_reason_is_a_hard_error() {
+        let err = parse("// simlint::allow(T2/rng-escape)\nfn f() {}").unwrap_err();
+        assert!(err.contains("missing `: <reason>`"), "{err}");
+        let err = parse("// simlint::allow(T2/rng-escape):   \nfn f() {}").unwrap_err();
+        assert!(err.contains("empty reason"), "{err}");
+    }
+
+    #[test]
+    fn unknown_directive_kind_is_a_hard_error() {
+        let err = parse("// simlint::deny(D1/hash-collections): no\nfn f() {}").unwrap_err();
+        assert!(err.contains("unknown directive"), "{err}");
+    }
+
+    #[test]
+    fn filter_marks_used_and_removes_matched_findings() {
+        let ds = parse("fn f() {\n    let x = 1; // simlint::allow(D2/wall-clock): fixture\n}")
+            .expect("parses");
+        let hit = Finding {
+            path: "crates/demo/src/lib.rs".into(),
+            line: 2,
+            col: 5,
+            code: "D2/wall-clock",
+            message: "m".into(),
+        };
+        let miss = Finding {
+            path: "crates/demo/src/lib.rs".into(),
+            line: 2,
+            col: 9,
+            code: "D1/hash-collections",
+            message: "m".into(),
+        };
+        let (kept, used) = filter_suppressed(&ds, vec![hit, miss]);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].code, "D1/hash-collections");
+        assert_eq!(used, vec![true]);
+    }
+}

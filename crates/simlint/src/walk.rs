@@ -18,9 +18,10 @@ use std::path::{Path, PathBuf};
 
 use crate::config::Config;
 use crate::diag::{sort_findings, Finding};
-use crate::lexer::lex;
-use crate::purity::{analyze_sources, GraphStats};
+use crate::lexer::{lex, lex_with_comments};
+use crate::purity::{workspace_findings, GraphStats};
 use crate::rules::{lint_file, FileContext};
+use crate::suppress::{filter_suppressed, parse_directives, unused_finding};
 
 /// The result of a workspace scan.
 #[derive(Debug)]
@@ -70,11 +71,8 @@ pub fn lint_workspace(root: &Path, cfg: &Config) -> Result<ScanReport, String> {
         }
     }
 
-    let mut findings = Vec::new();
-    let mut files_scanned = 0usize;
     let mut sources: Vec<(String, String)> = Vec::new();
     for src_root in src_roots {
-        let crate_has_doc_gate = crate_doc_gate(&src_root)?;
         let mut files = Vec::new();
         collect_rs_files(&src_root, &mut files)?;
         files.sort();
@@ -82,20 +80,49 @@ pub fn lint_workspace(root: &Path, cfg: &Config) -> Result<ScanReport, String> {
             let rel = relative_slash_path(root, &file);
             let source =
                 fs::read_to_string(&file).map_err(|e| format!("read {}: {e}", file.display()))?;
-            let ctx = FileContext {
-                is_crate_root: file.file_name().is_some_and(|n| n == "lib.rs")
-                    && file.parent() == Some(src_root.as_path()),
-                crate_has_doc_gate,
-            };
-            findings.extend(lint_file(&rel, &source, &ctx, cfg));
-            files_scanned += 1;
             sources.push((rel, source));
         }
     }
-    // Workspace-level pass: symbol table, call graph, P-rules and the
+    lint_sources(&sources, cfg)
+}
+
+/// Runs the full lint pipeline over already-loaded sources: per-file
+/// token rules, the workspace-level call-graph analysis (P- and
+/// T-rules, typed D3, stale-config checks), inline `simlint::allow`
+/// suppression, and `S1/unused-suppression` reporting.
+///
+/// `files` are `(workspace-relative path, source)` pairs in scan order
+/// — the same pipeline serves [`lint_workspace`] and in-memory tests.
+///
+/// # Errors
+///
+/// Returns a message on a malformed suppression directive (unknown rule
+/// code, missing reason) — directives are policy, and a typo must never
+/// silently widen a waiver.
+pub fn lint_sources(files: &[(String, String)], cfg: &Config) -> Result<ScanReport, String> {
+    let mut findings = Vec::new();
+    let mut directives = Vec::new();
+    for (path, source) in files {
+        let ctx = FileContext {
+            is_crate_root: path_is_crate_root(path),
+            crate_has_doc_gate: crate_doc_gate(files, path),
+        };
+        findings.extend(lint_file(path, source, &ctx, cfg));
+        let (tokens, comments) = lex_with_comments(source);
+        directives.extend(parse_directives(path, &comments, &tokens)?);
+    }
+    // Workspace-level pass: symbol table, call graph, P-/T-rules and the
     // call-graph-aware D3 check over every scanned file at once.
-    let (analysis_findings, graph) = analyze_sources(&sources, cfg);
+    let (analysis_findings, graph) = workspace_findings(files, cfg);
     findings.extend(analysis_findings);
+    // Inline suppressions: drop waived findings, then report every
+    // directive that waived nothing.
+    let (mut findings, used) = filter_suppressed(&directives, findings);
+    for (directive, used) in directives.iter().zip(used) {
+        if !used {
+            findings.push(unused_finding(directive));
+        }
+    }
     sort_findings(&mut findings);
     // The typed D3 check and the token rule can anchor the same call
     // site; keep one diagnostic per (position, code).
@@ -104,22 +131,35 @@ pub fn lint_workspace(root: &Path, cfg: &Config) -> Result<ScanReport, String> {
     });
     Ok(ScanReport {
         findings,
-        files_scanned,
+        files_scanned: files.len(),
         graph,
     })
 }
 
-/// Whether the crate rooted at `src_root` compiles under
-/// `#![deny(missing_docs)]` (checked lexically on its `lib.rs`).
-fn crate_doc_gate(src_root: &Path) -> Result<bool, String> {
-    let lib = src_root.join("lib.rs");
-    if !lib.is_file() {
-        return Ok(false);
-    }
-    let source = fs::read_to_string(&lib).map_err(|e| format!("read {}: {e}", lib.display()))?;
-    let tokens = lex(&source);
+/// Whether a workspace-relative path is a crate root (`src/lib.rs` of
+/// the façade crate or of a `crates/*` member).
+fn path_is_crate_root(path: &str) -> bool {
+    let segs: Vec<&str> = path.split('/').collect();
+    matches!(
+        segs.as_slice(),
+        ["src", "lib.rs"] | ["crates", _, "src", "lib.rs"]
+    )
+}
+
+/// Whether the crate containing `path` compiles under
+/// `#![deny(missing_docs)]` (checked lexically on its `lib.rs` within
+/// the loaded file set).
+fn crate_doc_gate(files: &[(String, String)], path: &str) -> bool {
+    let root = match path.split_once("src/") {
+        Some((prefix, _)) => format!("{prefix}src/lib.rs"),
+        None => return false,
+    };
+    let Some((_, source)) = files.iter().find(|(p, _)| *p == root) else {
+        return false;
+    };
+    let tokens = lex(source);
     let has = |ident: &str| tokens.iter().any(|t| t.is_ident(ident));
-    Ok(has("deny") && has("missing_docs"))
+    has("deny") && has("missing_docs")
 }
 
 /// Recursively collects `.rs` files under `dir`.

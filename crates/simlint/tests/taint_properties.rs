@@ -1,0 +1,109 @@
+//! Property test for the taint-summary fixpoint: random whole programs
+//! of single-expression functions (literal / param passthrough / rng
+//! draw / float cast / call-through, cycles included) and an independent
+//! oracle that evaluates the same grammar to its own fixpoint. The
+//! linter's per-function summaries must agree exactly — mask and
+//! param-carry — on every function.
+
+use proptest::prelude::*;
+use simdc_simlint::{function_summaries, Config, DRAWN, FLOATY};
+
+const STREAM_DEF: &str = "struct RngStream { state: u64 }\nimpl RngStream {\n    fn named(seed: u64, label: &str) -> RngStream { RngStream { state: seed ^ label.len() as u64 } }\n    fn next_u64(&mut self) -> u64 { self.state = self.state.wrapping_mul(3); self.state }\n}\n";
+
+/// One generated function body.
+#[derive(Clone, Copy, Debug)]
+enum Body {
+    /// `7` — no taint.
+    Lit,
+    /// `a` — carries parameter 0.
+    Param,
+    /// `rng.next_u64()` — drawn.
+    Draw,
+    /// `1.5 as u64` — float evidence.
+    Float,
+    /// `f{j}(a, rng)` — whatever the callee's summary says.
+    Call(usize),
+}
+
+fn render(bodies: &[Body]) -> String {
+    let mut src = String::from(STREAM_DEF);
+    for (i, b) in bodies.iter().enumerate() {
+        let expr = match b {
+            Body::Lit => "7".to_string(),
+            Body::Param => "a".to_string(),
+            Body::Draw => "rng.next_u64()".to_string(),
+            Body::Float => "1.5 as u64".to_string(),
+            Body::Call(j) => format!("f{j}(a, rng)"),
+        };
+        src.push_str(&format!(
+            "fn f{i}(a: u64, rng: &mut RngStream) -> u64 {{ {expr} }}\n"
+        ));
+    }
+    src
+}
+
+/// The oracle: iterate `(ret kind mask, carries param 0)` per function
+/// to a fixpoint straight off the generated grammar. A draw result does
+/// NOT carry its receiver (the kind already says everything), so the
+/// `rng` parameter never flows into any return value under this grammar.
+fn oracle(bodies: &[Body]) -> Vec<(u8, bool)> {
+    let n = bodies.len();
+    let mut out = vec![(0u8, false); n];
+    loop {
+        let mut changed = false;
+        for i in 0..n {
+            let next = match bodies[i] {
+                Body::Lit => (0, false),
+                Body::Param => (0, true),
+                Body::Draw => (DRAWN, false),
+                Body::Float => (FLOATY, false),
+                Body::Call(j) => out[j],
+            };
+            let merged = (out[i].0 | next.0, out[i].1 | next.1);
+            if merged != out[i] {
+                out[i] = merged;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn summaries_match_the_whole_program_oracle(
+        raw in proptest::collection::vec((0u8..5, 0u8..32), 1..12),
+    ) {
+        let n = raw.len();
+        let bodies: Vec<Body> = raw
+            .iter()
+            .map(|&(k, j)| match k {
+                0 => Body::Lit,
+                1 => Body::Param,
+                2 => Body::Draw,
+                3 => Body::Float,
+                _ => Body::Call(j as usize % n),
+            })
+            .collect();
+        let files = vec![("crates/a/src/lib.rs".to_string(), render(&bodies))];
+        let summaries = function_summaries(&files, &Config::default());
+        let want = oracle(&bodies);
+        for (i, &(mask, carries)) in want.iter().enumerate() {
+            let s = &summaries[&format!("f{i}")];
+            prop_assert_eq!(s.ret_mask, mask, "f{} mask, bodies {:?}", i, bodies);
+            prop_assert_eq!(
+                s.ret_params.first().copied().unwrap_or(false),
+                carries,
+                "f{} param-0 carry, bodies {:?}", i, bodies
+            );
+            prop_assert!(
+                !s.ret_params.get(1).copied().unwrap_or(false),
+                "f{}: the rng param must never flow to ret under this grammar, bodies {:?}",
+                i, bodies
+            );
+        }
+    }
+}
