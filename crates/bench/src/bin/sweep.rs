@@ -1,0 +1,10 @@
+//! Runs the scenario parameter sweep (see `exp::sweep`).
+//!
+//! Writes one `results/SWEEP_<cell>.json` per grid cell plus the
+//! aggregate `results/BENCH_sweep.json` manifest; two runs with the same
+//! `--seed` are byte-identical, which CI checks with a plain `diff -r`.
+
+fn main() {
+    let opts = simdc_bench::ExpOptions::from_args();
+    simdc_bench::exp::sweep::run(&opts);
+}

@@ -14,6 +14,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod scale;
 pub mod scenarios;
+pub mod sweep;
 pub mod table1;
 pub mod table2;
 
@@ -74,6 +75,13 @@ pub const ALL: &[(&str, ExpRunner)] = &[
     // (BENCH_elasticity.json, archived by CI).
     ("BENCH_elasticity", |opts| {
         elasticity::run(opts);
+    }),
+    // The sweep runner expands a seed × rate × thread grid over the
+    // declarative scenario layer, one SWEEP_<cell>.json per cell plus
+    // the BENCH_sweep.json manifest (archived and diffed by CI); its
+    // thread axis doubles as a determinism gate.
+    ("BENCH_sweep", |opts| {
+        sweep::run(opts);
     }),
 ];
 

@@ -23,6 +23,10 @@
 //!   construction fanned out over a fixed worker pool, and batched
 //!   plan-phase computation whose deterministic admission-order merge
 //!   keeps `--threads N` byte-identical to `--threads 1`.
+//! * [`invariants`] — the platform-invariant oracles (freeze/release
+//!   pairing, capacity bounds, terminal-state immutability, billing
+//!   reconciliation) shared by the debug assertions and the scenario
+//!   fuzzer's post-run checks.
 //! * [`platform`] — the façade tying everything together on the
 //!   [`simdc_simrt`] discrete-event queue: completions are events,
 //!   resources release at each task's actual completion instant, and the
@@ -63,6 +67,7 @@
 pub mod alloc;
 pub mod cloud;
 pub mod dispatch;
+pub mod invariants;
 pub mod platform;
 pub mod queue;
 pub mod resources;
@@ -73,6 +78,7 @@ pub mod spec;
 
 pub use alloc::{optimize, Allocation, GradeAllocParams, GradeAllocation};
 pub use cloud::{AggregationTrigger, RoundOutcome, Storage};
+pub use invariants::InvariantViolation;
 pub use platform::{Platform, PlatformConfig, PlatformStatus, SourceRunStats, SubmissionSource};
 pub use queue::{TaskQueue, TaskRecord, TaskState};
 pub use resources::{ResourceClaim, ResourceManager};

@@ -315,6 +315,7 @@ impl Platform {
     /// completions (not just submissions) also see phones registered or
     /// retired through [`Platform::phones_mut`] since the last pass.
     fn dispatch_pending(&mut self) -> usize {
+        self.debug_assert_capacity_bounds();
         self.cluster.advance_to(self.clock);
         self.sync_fleet_totals();
         self.sync_cluster_totals();
@@ -557,6 +558,7 @@ impl Platform {
     /// placement groups at the completion instant, and records the final
     /// state. Returns whether the task completed (vs. failed at commit).
     fn finish(&mut self, id: TaskId, at: SimInstant) -> bool {
+        self.debug_assert_capacity_bounds();
         self.clock = self.clock.max(at);
         self.completion_events += 1;
         let plan = self.plans.remove(&id).expect("completion without a plan");
@@ -597,20 +599,31 @@ impl Platform {
     /// At idle (no running task, no pending completion) every freeze must
     /// have been paired with its release: free capacity equals total
     /// capacity. Catches lease leaks like failing a running task without
-    /// releasing its claim.
+    /// releasing its claim. Shares its oracle with the post-run checks —
+    /// see [`crate::invariants::idle_violations`].
     fn debug_assert_idle_capacity(&self) {
-        debug_assert!(
-            self.rm.fully_free(),
-            "resource lease leak at idle: {} active leases, {}/{} bundles free",
-            self.rm.active_leases(),
-            self.rm.free_bundles(),
-            self.rm.total_bundles(),
-        );
-        debug_assert!(
-            self.cluster.active_jobs() == 0,
-            "placement-group leak at idle: {} groups still held",
-            self.cluster.active_jobs(),
-        );
+        if cfg!(debug_assertions) {
+            let violations =
+                crate::invariants::idle_violations(&self.rm, self.cluster.active_jobs());
+            assert!(
+                violations.is_empty(),
+                "invariant violated at idle: {violations:?}"
+            );
+        }
+    }
+
+    /// Free capacity never exceeds total capacity — asserted (debug
+    /// builds) at every dispatch and completion event, so a double
+    /// release aborts at the event that exhibits it instead of drifting
+    /// into the summaries. See [`crate::invariants::capacity_violations`].
+    fn debug_assert_capacity_bounds(&self) {
+        if cfg!(debug_assertions) {
+            let violations = crate::invariants::capacity_violations(&self.rm);
+            assert!(
+                violations.is_empty(),
+                "capacity bound violated: {violations:?}"
+            );
+        }
     }
 
     /// Runs the event loop until no task is pending or running: every
@@ -871,6 +884,66 @@ impl Platform {
     #[must_use]
     pub fn storage(&self) -> &Storage {
         &self.storage
+    }
+
+    /// `mark_*` calls the task queue rejected because the task was
+    /// already terminal — the clobber-attempt counter behind invariant
+    /// oracle 3 ([`crate::invariants::clobber_violation`]).
+    #[must_use]
+    pub fn terminal_clobber_attempts(&self) -> u64 {
+        self.queue.terminal_clobber_attempts()
+    }
+
+    /// Runs every post-run invariant oracle and returns the violations
+    /// (empty on a healthy platform). Meant for a *drained* platform —
+    /// nothing pending or running, [`Platform::finalize_cost`] already
+    /// called (scenario runs do both before handing the platform back):
+    ///
+    /// 1. freeze/release pairing — free == total at idle, no lease or
+    ///    placement group held;
+    /// 2. capacity bounds — free ≤ total for bundles and every grade;
+    /// 3. no terminal-state clobber — zero rejected terminal transitions;
+    /// 4. billing reconciliation — reported spend equals billed
+    ///    node-seconds × the hourly rate.
+    ///
+    /// The scenario fuzzer asserts this after every sampled spec; tests
+    /// that want one oracle in isolation use [`crate::invariants`]
+    /// directly.
+    #[must_use]
+    pub fn invariant_violations(&self) -> Vec<crate::invariants::InvariantViolation> {
+        let mut violations = crate::invariants::capacity_violations(&self.rm);
+        violations.extend(crate::invariants::idle_violations(
+            &self.rm,
+            self.cluster.active_jobs(),
+        ));
+        violations.extend(crate::invariants::clobber_violation(
+            self.queue.terminal_clobber_attempts(),
+        ));
+        let stats = self.cluster.stats();
+        violations.extend(crate::invariants::billing_violation(
+            stats.cost_accrued,
+            self.cluster.node_seconds(),
+            self.cluster.cost().node_hourly_cost,
+        ));
+        violations
+    }
+
+    /// Test-harness fault injector: replays the pre-PR-3 starvation-sweep
+    /// bug by attempting to fail *every* submitted task, including ones
+    /// already in a terminal state. The `mark_*` guards reject the
+    /// terminal transitions and the queue counts each attempt, so
+    /// [`Platform::invariant_violations`] reports a `TerminalClobber`
+    /// afterwards — this is how the fuzzer's shrinker test proves the
+    /// oracle catches the regression. Pending tasks (none remain after a
+    /// drained run) genuinely fail, exactly like the historical sweep.
+    /// Returns the clobber attempts recorded so far.
+    pub fn inject_terminal_clobber_fault(&mut self) -> u64 {
+        for id in self.queue.all_ids() {
+            let _ = self
+                .queue
+                .mark_failed(id, "injected fault: starvation sweep ignored task state");
+        }
+        self.queue.terminal_clobber_attempts()
     }
 }
 

@@ -78,6 +78,11 @@ pub struct TaskQueue {
     records: BTreeMap<TaskId, TaskRecord>,
     pending: BTreeSet<PendingKey>,
     next_seq: u64,
+    /// `mark_*` calls that tried to transition a task already in a
+    /// terminal state. The guards reject every such call, so healthy code
+    /// never increments this — the invariant oracles
+    /// (`crate::invariants::clobber_violation`) assert it stays zero.
+    terminal_clobber_attempts: u64,
 }
 
 impl TaskQueue {
@@ -154,6 +159,14 @@ impl TaskQueue {
         counts
     }
 
+    /// `mark_*` calls rejected because the task was already terminal — the
+    /// clobber-attempt counter the invariant oracles assert stays zero
+    /// (see [`crate::invariants::clobber_violation`]).
+    #[must_use]
+    pub fn terminal_clobber_attempts(&self) -> u64 {
+        self.terminal_clobber_attempts
+    }
+
     /// Marks a task running.
     ///
     /// # Errors
@@ -166,6 +179,9 @@ impl TaskQueue {
             .get_mut(&id)
             .ok_or(SimdcError::TaskNotFound(id))?;
         if !record.state.is_pending() {
+            if record.state.is_terminal() {
+                self.terminal_clobber_attempts += 1;
+            }
             return Err(SimdcError::InvalidConfig(format!(
                 "task {id} is not pending"
             )));
@@ -195,9 +211,14 @@ impl TaskQueue {
                 };
                 Ok(())
             }
-            _ => Err(SimdcError::InvalidConfig(format!(
-                "task {id} is not running"
-            ))),
+            _ => {
+                if record.state.is_terminal() {
+                    self.terminal_clobber_attempts += 1;
+                }
+                Err(SimdcError::InvalidConfig(format!(
+                    "task {id} is not running"
+                )))
+            }
         }
     }
 
@@ -215,6 +236,7 @@ impl TaskQueue {
             .get_mut(&id)
             .ok_or(SimdcError::TaskNotFound(id))?;
         if record.state.is_terminal() {
+            self.terminal_clobber_attempts += 1;
             return Err(SimdcError::InvalidConfig(format!(
                 "task {id} is already terminal"
             )));

@@ -14,7 +14,11 @@
 //!   JSON;
 //! * [`source`] — the pre-sampled [`simdc_core::SubmissionSource`]
 //!   adapter pacing an arrival process + template straight into
-//!   [`simdc_core::Platform::run_from_source`].
+//!   [`simdc_core::Platform::run_from_source`];
+//! * [`spec`] — the declarative scenario DSL: serde-backed
+//!   [`ScenarioSpec`]s (the committed JSON fixtures under
+//!   `fixtures/scenarios/`), the compiler to runnable scenarios, and the
+//!   greedy shrinker the fuzz harness minimizes failing specs with.
 //!
 //! Every stochastic choice derives from one scenario seed through named
 //! [`simdc_simrt::RngStream`]s: the same seed replays the exact same
@@ -57,6 +61,7 @@ pub mod arrival;
 pub mod fleet;
 pub mod scenario;
 pub mod source;
+pub mod spec;
 pub mod template;
 
 pub use arrival::ArrivalProcess;
@@ -66,4 +71,5 @@ pub use scenario::{
     ScenarioSummary,
 };
 pub use source::SampledSource;
+pub use spec::{scale_arrival_rates, shrink, CompiledScenario, ScenarioSpec};
 pub use template::{GradeScheme, TaskTemplate};

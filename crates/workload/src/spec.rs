@@ -1,0 +1,563 @@
+//! The declarative scenario DSL: serde-backed [`ScenarioSpec`]s, the
+//! compiler to runnable [`CompiledScenario`]s, and the greedy [`shrink`]er
+//! the fuzz harness minimizes failing specs with.
+//!
+//! All eight library scenarios ([`crate::library`]) are committed as JSON
+//! fixtures under `fixtures/scenarios/` at the repository root; the
+//! fixture tests assert each one compiles to a summary byte-identical to
+//! its legacy Rust constructor. The spec grammar is exactly the struct
+//! tree below — arrival mixes compose as [`ArrivalProcess`] trees,
+//! fleet composition rides [`FleetSpec`], injector schedules ride
+//! [`FleetDynamics`], and the elastic tier rides an optional
+//! [`ClusterConfig`] override.
+//!
+//! # Compiler guarantees
+//!
+//! * **Byte-identity** — `compile` introduces no stochastic choice of its
+//!   own: the compiled scenario replays through the same engine as a
+//!   hand-written [`Scenario`], so spec + seed ⇒ byte-identical
+//!   [`ScenarioSummary`] JSON, for every worker-thread count.
+//! * **Typed rejection** — [`ScenarioSpec::from_json_str`] never panics
+//!   on malformed input: parse errors and unknown enum variants surface
+//!   as [`SimdcError::Serialization`], unknown keys and semantic
+//!   violations (malformed arrival trees, zero-phone fleets, negative
+//!   budgets) as [`SimdcError::InvalidConfig`] with pinned messages.
+//! * **Unknown keys are errors** — a typo'd field would otherwise be
+//!   silently ignored and the run would quietly diverge from the author's
+//!   intent; the loader walks the raw document against the canonical
+//!   re-serialization and rejects any key it does not know.
+//!
+//! # Examples
+//!
+//! ```
+//! use simdc_phone::FleetSpec;
+//! use simdc_workload::{library, ScenarioSpec};
+//!
+//! let scenario = &library()[0];
+//! let spec = ScenarioSpec::from_scenario(scenario, FleetSpec::paper_default(), 7, 1);
+//! // JSON round trip is lossless and loads back through the validator.
+//! let reloaded = ScenarioSpec::from_json_str(&spec.to_json_string_pretty()).unwrap();
+//! assert_eq!(reloaded, spec);
+//! // The compiler reproduces the hand-written scenario exactly.
+//! assert_eq!(reloaded.compile().unwrap().scenario, *scenario);
+//! ```
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+use simdc_cluster::ClusterConfig;
+use simdc_core::{Platform, PlatformConfig};
+use simdc_data::CtrDataset;
+use simdc_phone::FleetSpec;
+use simdc_types::{Result, SimDuration, SimdcError};
+
+use crate::arrival::ArrivalProcess;
+use crate::fleet::FleetDynamics;
+use crate::scenario::{Scenario, ScenarioSummary};
+use crate::template::TaskTemplate;
+
+/// Worker-thread ceiling a spec may ask for — a fuzzer-friendly bound on
+/// OS threads, far above anything the benches use.
+pub const MAX_THREADS: usize = 64;
+
+/// A complete, self-contained scenario description: everything a run
+/// needs beyond the dataset. Field order is the JSON schema — it is
+/// pinned by the committed fixtures, so reordering fields is a visible,
+/// reviewed change.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Scenario name (doubles as the RNG stream label).
+    pub name: String,
+    /// One-line description for reports.
+    pub description: String,
+    /// Arrival horizon: tasks arrive in `[0, horizon)`; the run then
+    /// drains.
+    pub horizon: SimDuration,
+    /// Period of the pacing dispatch event.
+    pub dispatch_interval: SimDuration,
+    /// Task arrival mix — a composable tree of Poisson / diurnal /
+    /// bursty / superposed processes.
+    pub arrivals: ArrivalProcess,
+    /// Task generator.
+    pub template: TaskTemplate,
+    /// Injector schedule: phone churn, reboot latency and stragglers.
+    pub fleet_dynamics: FleetDynamics,
+    /// Elastic cloud tier override (`None` keeps the platform default).
+    pub cluster: Option<ClusterConfig>,
+    /// Phone-fleet composition the platform is built with.
+    pub fleet: FleetSpec,
+    /// Root seed: platform seed and scenario seed alike (same seed ⇒
+    /// byte-identical summary JSON).
+    pub seed: u64,
+    /// Worker threads for sharded execution. Never changes results —
+    /// summaries are byte-identical for every value — only wall-clock
+    /// time; it is part of the spec so sweeps can put it on an axis.
+    pub threads: usize,
+}
+
+impl ScenarioSpec {
+    /// Builds the spec equivalent of a hand-written [`Scenario`] plus the
+    /// platform-side knobs a run needs (the legacy constructors carry
+    /// only the scenario half).
+    #[must_use]
+    pub fn from_scenario(scenario: &Scenario, fleet: FleetSpec, seed: u64, threads: usize) -> Self {
+        ScenarioSpec {
+            name: scenario.name.clone(),
+            description: scenario.description.clone(),
+            horizon: scenario.horizon,
+            dispatch_interval: scenario.dispatch_interval,
+            arrivals: scenario.arrivals.clone(),
+            template: scenario.template.clone(),
+            fleet_dynamics: scenario.fleet,
+            cluster: scenario.cluster.clone(),
+            fleet,
+            seed,
+            threads,
+        }
+    }
+
+    /// The scenario half of the spec (no validation — use
+    /// [`ScenarioSpec::compile`] for the checked path).
+    #[must_use]
+    pub fn to_scenario(&self) -> Scenario {
+        Scenario {
+            name: self.name.clone(),
+            description: self.description.clone(),
+            horizon: self.horizon,
+            dispatch_interval: self.dispatch_interval,
+            arrivals: self.arrivals.clone(),
+            template: self.template.clone(),
+            fleet: self.fleet_dynamics,
+            cluster: self.cluster.clone(),
+        }
+    }
+
+    /// Validates the spec: the scenario half (name, horizon, arrival
+    /// tree, template, injectors, cluster override) plus the
+    /// platform-side knobs the legacy constructors never carried.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimdcError::InvalidConfig`] naming the offending field.
+    pub fn validate(&self) -> Result<()> {
+        self.to_scenario().validate()?;
+        if self.fleet.total() == 0 {
+            return Err(SimdcError::InvalidConfig(
+                "fleet must contain at least one phone".into(),
+            ));
+        }
+        if self.threads > MAX_THREADS {
+            return Err(SimdcError::InvalidConfig(format!(
+                "threads must be at most {MAX_THREADS}, got {}",
+                self.threads
+            )));
+        }
+        Ok(())
+    }
+
+    /// Compiles the spec into a runnable scenario + platform config pair.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ScenarioSpec::validate`] errors.
+    pub fn compile(&self) -> Result<CompiledScenario> {
+        self.validate()?;
+        Ok(CompiledScenario {
+            scenario: self.to_scenario(),
+            config: PlatformConfig {
+                fleet: self.fleet,
+                seed: self.seed,
+                threads: self.threads,
+                ..PlatformConfig::default()
+            },
+        })
+    }
+
+    /// Loads a spec from JSON text with full typed rejection: parse
+    /// errors, unknown keys and semantic violations all surface as
+    /// errors, never panics.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimdcError::Serialization`] — malformed JSON or a document
+    ///   that does not deserialize (e.g. an unknown enum variant);
+    /// * [`SimdcError::InvalidConfig`] — an unknown key anywhere in the
+    ///   document (path-qualified, e.g. `` `$.template.bogus` ``), or a
+    ///   spec failing [`ScenarioSpec::validate`].
+    pub fn from_json_str(text: &str) -> Result<Self> {
+        let raw: serde_json::Value =
+            serde_json::from_str(text).map_err(|e| SimdcError::Serialization(e.to_string()))?;
+        let spec: ScenarioSpec =
+            Deserialize::from_value(&raw).map_err(|e| SimdcError::Serialization(e.to_string()))?;
+        // The vendored serde ignores unknown fields; walking the raw
+        // document against the canonical re-serialization recovers the
+        // strictness of `deny_unknown_fields`.
+        reject_unknown_keys(&raw, &spec.to_value(), "$")?;
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Serializes the spec as pretty JSON — the committed fixture format.
+    ///
+    /// # Panics
+    ///
+    /// Never panics in practice (the data model is infallible to write).
+    #[must_use]
+    pub fn to_json_string_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("spec serialization is infallible")
+    }
+
+    /// Returns a copy with every rate in the arrival tree scaled by
+    /// `factor` — the sweep runner's load axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor` is positive and finite.
+    #[must_use]
+    pub fn with_rate_scale(mut self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "rate scale must be positive and finite, got {factor}"
+        );
+        scale_arrival_rates(&mut self.arrivals, factor);
+        self
+    }
+
+    /// Returns a copy with the horizon scaled by `factor` (mirrors
+    /// [`Scenario::scaled`] for quick-profile sweeps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not in `(0, 1]`.
+    #[must_use]
+    pub fn with_horizon_scale(mut self, factor: f64) -> Self {
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "scale factor must be in (0, 1], got {factor}"
+        );
+        self.horizon = self.horizon.mul_f64(factor);
+        self
+    }
+}
+
+/// A validated spec lowered to what the engine actually runs: the
+/// [`Scenario`] plus the [`PlatformConfig`] it executes against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledScenario {
+    /// The scenario half (arrivals, template, injectors, cluster).
+    pub scenario: Scenario,
+    /// The platform half (fleet composition, seed, threads); the seed
+    /// doubles as the scenario seed, exactly like the bench suite runs
+    /// the library.
+    pub config: PlatformConfig,
+}
+
+impl CompiledScenario {
+    /// Executes the compiled scenario and returns its summary.
+    #[must_use]
+    pub fn run(&self, dataset: &Arc<CtrDataset>) -> ScenarioSummary {
+        self.scenario
+            .run(self.config.clone(), dataset, self.config.seed)
+    }
+
+    /// Like [`CompiledScenario::run`], but also hands back the drained
+    /// platform so callers can interrogate the invariant oracles
+    /// ([`Platform::invariant_violations`]).
+    #[must_use]
+    pub fn run_detailed(&self, dataset: &Arc<CtrDataset>) -> (ScenarioSummary, Platform) {
+        self.scenario
+            .run_detailed(self.config.clone(), dataset, self.config.seed)
+    }
+}
+
+/// Scales every rate in an arrival tree by `factor`, preserving the tree
+/// shape (burst multipliers and periods are shapes, not rates, and stay).
+pub fn scale_arrival_rates(process: &mut ArrivalProcess, factor: f64) {
+    match process {
+        ArrivalProcess::Poisson { rate_per_min } => *rate_per_min *= factor,
+        ArrivalProcess::Diurnal {
+            mean_per_min,
+            amplitude_per_min,
+            ..
+        } => {
+            *mean_per_min *= factor;
+            *amplitude_per_min *= factor;
+        }
+        ArrivalProcess::Bursty { base_per_min, .. } => *base_per_min *= factor,
+        ArrivalProcess::Superpose(children) => {
+            for child in children {
+                scale_arrival_rates(child, factor);
+            }
+        }
+    }
+}
+
+/// Walks the raw document against the canonical re-serialization of what
+/// it deserialized to; any key present in the input but absent from the
+/// canonical form was silently ignored by the deserializer and is
+/// rejected here with its `$.`-rooted path.
+fn reject_unknown_keys(
+    input: &serde_json::Value,
+    canonical: &serde_json::Value,
+    path: &str,
+) -> Result<()> {
+    use serde_json::Value;
+    match (input, canonical) {
+        (Value::Object(input_fields), Value::Object(known_fields)) => {
+            for (key, value) in input_fields {
+                match known_fields.iter().find(|(known, _)| known == key) {
+                    Some((_, known_value)) => {
+                        reject_unknown_keys(value, known_value, &format!("{path}.{key}"))?;
+                    }
+                    None => {
+                        return Err(SimdcError::InvalidConfig(format!(
+                            "unknown key `{path}.{key}` in scenario spec"
+                        )));
+                    }
+                }
+            }
+            Ok(())
+        }
+        (Value::Array(input_items), Value::Array(known_items)) => {
+            for (index, (item, known)) in input_items.iter().zip(known_items).enumerate() {
+                reject_unknown_keys(item, known, &format!("{path}[{index}]"))?;
+            }
+            Ok(())
+        }
+        _ => Ok(()),
+    }
+}
+
+/// Greedily minimizes a failing spec: repeatedly tries the candidate
+/// simplifications of [`shrink`]'s catalog (halve the horizon, prune the
+/// arrival tree, calm the fleet, drop the cluster override, shrink the
+/// fleet and template, force one worker thread) and keeps any candidate
+/// for which `fails` still returns `true`, until no candidate fails —
+/// the returned spec is a local minimum that still exhibits the failure.
+///
+/// The vendored proptest stand-in generates but does not shrink, so the
+/// fuzz harness calls this instead after a property fails; `fails` is
+/// typically "compile, run, and check the invariant oracles".
+pub fn shrink(spec: &ScenarioSpec, fails: impl Fn(&ScenarioSpec) -> bool) -> ScenarioSpec {
+    let mut current = spec.clone();
+    loop {
+        let mut improved = false;
+        for candidate in shrink_candidates(&current) {
+            if fails(&candidate) {
+                current = candidate;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            return current;
+        }
+    }
+}
+
+/// One round of candidate simplifications, most aggressive first. Each
+/// candidate changes exactly one axis, so the accepted sequence is a
+/// readable delta trail from the original failure to the minimum.
+fn shrink_candidates(spec: &ScenarioSpec) -> Vec<ScenarioSpec> {
+    let one_min = SimDuration::from_mins(1);
+    let mut candidates = Vec::new();
+
+    if spec.horizon > one_min {
+        let mut c = spec.clone();
+        let halved = c.horizon.mul_f64(0.5);
+        c.horizon = if halved < one_min { one_min } else { halved };
+        if c.dispatch_interval > c.horizon {
+            c.dispatch_interval = c.horizon;
+        }
+        candidates.push(c);
+    }
+
+    for arrivals in shrink_arrivals(&spec.arrivals) {
+        let mut c = spec.clone();
+        c.arrivals = arrivals;
+        candidates.push(c);
+    }
+
+    if spec.fleet_dynamics != FleetDynamics::calm() {
+        let mut c = spec.clone();
+        c.fleet_dynamics = FleetDynamics::calm();
+        candidates.push(c);
+    }
+
+    if spec.cluster.is_some() {
+        let mut c = spec.clone();
+        c.cluster = None;
+        candidates.push(c);
+    }
+
+    let halved_fleet = FleetSpec {
+        local: simdc_types::PerGrade::from_parts(
+            spec.fleet.local.high / 2,
+            spec.fleet.local.low / 2,
+        ),
+        msp: simdc_types::PerGrade::from_parts(spec.fleet.msp.high / 2, spec.fleet.msp.low / 2),
+    };
+    if halved_fleet.total() > 0 && halved_fleet != spec.fleet {
+        let mut c = spec.clone();
+        c.fleet = halved_fleet;
+        candidates.push(c);
+    }
+
+    if spec.template.rounds != (1, 1) {
+        let mut c = spec.clone();
+        c.template.rounds = (1, 1);
+        candidates.push(c);
+    }
+    if spec.template.devices_per_grade.1 > spec.template.devices_per_grade.0 {
+        let mut c = spec.clone();
+        c.template.devices_per_grade.1 = c.template.devices_per_grade.0;
+        candidates.push(c);
+    }
+
+    if spec.threads > 1 {
+        let mut c = spec.clone();
+        c.threads = 1;
+        candidates.push(c);
+    }
+
+    candidates
+}
+
+/// Arrival-tree simplifications: drop superpose branches (or unwrap a
+/// singleton), and collapse shaped processes to plain Poisson at their
+/// base rate. Iterating these converges every tree to a single Poisson
+/// leaf.
+fn shrink_arrivals(process: &ArrivalProcess) -> Vec<ArrivalProcess> {
+    match process {
+        ArrivalProcess::Superpose(children) if children.len() == 1 => vec![children[0].clone()],
+        ArrivalProcess::Superpose(children) => children
+            .iter()
+            .enumerate()
+            .map(|(drop, _)| {
+                ArrivalProcess::Superpose(
+                    children
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| *i != drop)
+                        .map(|(_, c)| c.clone())
+                        .collect(),
+                )
+            })
+            .chain(children.iter().cloned())
+            .collect(),
+        ArrivalProcess::Diurnal { mean_per_min, .. } => vec![ArrivalProcess::Poisson {
+            rate_per_min: *mean_per_min,
+        }],
+        ArrivalProcess::Bursty { base_per_min, .. } => vec![ArrivalProcess::Poisson {
+            rate_per_min: *base_per_min,
+        }],
+        ArrivalProcess::Poisson { .. } => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library;
+
+    fn steady_spec() -> ScenarioSpec {
+        ScenarioSpec::from_scenario(&library()[0], FleetSpec::paper_default(), 7, 1)
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless_for_every_library_scenario() {
+        for scenario in library() {
+            let spec = ScenarioSpec::from_scenario(&scenario, FleetSpec::paper_default(), 7, 1);
+            let reloaded = ScenarioSpec::from_json_str(&spec.to_json_string_pretty()).unwrap();
+            assert_eq!(reloaded, spec, "{}", scenario.name);
+            assert_eq!(reloaded.to_scenario(), scenario, "{}", scenario.name);
+        }
+    }
+
+    #[test]
+    fn compile_reproduces_the_scenario_and_platform_knobs() {
+        let spec = steady_spec();
+        let compiled = spec.compile().unwrap();
+        assert_eq!(compiled.scenario, library()[0]);
+        assert_eq!(compiled.config.seed, 7);
+        assert_eq!(compiled.config.threads, 1);
+        assert_eq!(compiled.config.fleet, FleetSpec::paper_default());
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected_with_their_path() {
+        let mut json = steady_spec().to_json_string_pretty();
+        json = json.replacen("\"name\"", "\"frequency\": 3,\n  \"name\"", 1);
+        let err = ScenarioSpec::from_json_str(&json).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "invalid configuration: unknown key `$.frequency` in scenario spec"
+        );
+    }
+
+    #[test]
+    fn rate_scale_walks_the_whole_tree() {
+        let mut tree = ArrivalProcess::Superpose(vec![
+            ArrivalProcess::Poisson { rate_per_min: 1.0 },
+            ArrivalProcess::Bursty {
+                base_per_min: 0.5,
+                burst_multiplier: 4.0,
+                burst_every: SimDuration::from_mins(10),
+                burst_len: SimDuration::from_mins(1),
+            },
+        ]);
+        scale_arrival_rates(&mut tree, 2.0);
+        match tree {
+            ArrivalProcess::Superpose(children) => {
+                assert_eq!(children[0], ArrivalProcess::Poisson { rate_per_min: 2.0 });
+                match children[1] {
+                    ArrivalProcess::Bursty {
+                        base_per_min,
+                        burst_multiplier,
+                        ..
+                    } => {
+                        assert_eq!(base_per_min, 1.0);
+                        assert_eq!(burst_multiplier, 4.0, "shape must not scale");
+                    }
+                    ref other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shrink_converges_to_a_minimal_failing_spec() {
+        // "Fails whenever any arrivals exist at all" — the shrinker must
+        // walk everything else down to its floor without losing failure.
+        let spec = ScenarioSpec::from_scenario(
+            &crate::scenario::mega_fleet(),
+            FleetSpec::paper_default(),
+            7,
+            4,
+        );
+        let minimal = shrink(&spec, |s| s.arrivals.peak_rate_per_min() > 0.0);
+        assert!(minimal.horizon <= SimDuration::from_mins(1));
+        assert!(matches!(minimal.arrivals, ArrivalProcess::Poisson { .. }));
+        assert_eq!(minimal.fleet_dynamics, FleetDynamics::calm());
+        assert_eq!(minimal.threads, 1);
+        assert_eq!(minimal.template.rounds, (1, 1));
+        assert!(minimal.fleet.total() >= 1);
+    }
+
+    #[test]
+    fn validate_rejects_platform_side_violations() {
+        let mut spec = steady_spec();
+        spec.fleet = FleetSpec {
+            local: simdc_types::PerGrade::from_parts(0, 0),
+            msp: simdc_types::PerGrade::from_parts(0, 0),
+        };
+        assert_eq!(
+            spec.validate().unwrap_err().to_string(),
+            "invalid configuration: fleet must contain at least one phone"
+        );
+        let mut spec = steady_spec();
+        spec.threads = MAX_THREADS + 1;
+        assert!(spec.validate().is_err());
+    }
+}
